@@ -1,0 +1,120 @@
+"""Ablation benches for the design choices Section 5 calls out.
+
+The paper attributes the performance of ROOTPATHS/DATAPATHS to
+(a) indexing schema paths and values together, (b) returning full
+IdLists, (c) reversing the schema path for recursion, and (d) support
+for index-nested-loop joins.  Each ablation disables exactly one of
+those and shows the corresponding cost reappearing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.errors import UnsupportedLookupError
+from repro.indexes import RootPathsIndex
+from repro.planner.strategies import RootPathsStrategy
+from repro.query import parse_xpath
+from repro.storage import StatsCollector
+from repro.workloads import query
+
+
+@pytest.fixture(scope="module")
+def xmark_db(xmark_context):
+    return xmark_context.database.db
+
+
+# ----------------------------------------------------------------------
+# (a) indexing SchemaPath and LeafValue together — vs the DG+Edge plan
+# ----------------------------------------------------------------------
+def test_ablation_separate_value_index_costs_a_join(xmark_context):
+    workload_query = query("Q3x")
+    combined = xmark_context.measure(workload_query, "rootpaths")
+    separate = xmark_context.measure(workload_query, "dataguide_edge")
+    assert combined.correct and separate.correct
+    assert separate.total_cost > 2 * combined.total_cost
+    print()
+    print(
+        format_table(
+            ("plan", "logical cost"),
+            [("SchemaPath+Value together (RP)", combined.total_cost),
+             ("separate value index (DG+Edge)", separate.total_cost)],
+            title="Ablation (a): indexing schema path and value together",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# (b) returning full IdLists — vs storing only the last id
+# ----------------------------------------------------------------------
+def test_ablation_idlists_enable_cheap_branch_joins(xmark_db, xmark_context):
+    stats_full = StatsCollector()
+    full = RootPathsIndex(stats=stats_full).build(xmark_db)
+    stats_last = StatsCollector()
+    last_only = RootPathsIndex(stats=stats_last, store_full_idlist=False).build(xmark_db)
+    twig = parse_xpath(query("Q6x").xpath)
+
+    strategy = RootPathsStrategy(xmark_db, {"rootpaths": full}, stats=stats_full)
+    expected = xmark_context.database.oracle(query("Q6x").xpath)
+    assert strategy.evaluate(twig) == expected
+
+    # Without IdLists the same plan cannot find the branch-point ids at
+    # all: the rows it extracts no longer contain the site ids.
+    crippled = RootPathsStrategy(xmark_db, {"rootpaths": last_only}, stats=stats_last)
+    assert crippled.evaluate(twig) != expected
+    # And the index itself is smaller — the space/time tradeoff.
+    assert last_only.estimated_size_bytes() < full.estimated_size_bytes()
+
+
+# ----------------------------------------------------------------------
+# (c) reversing the SchemaPath — vs forward paths
+# ----------------------------------------------------------------------
+def test_ablation_reversed_schema_path_supports_recursion(xmark_db):
+    reversed_index = RootPathsIndex(stats=StatsCollector()).build(xmark_db)
+    forward_index = RootPathsIndex(stats=StatsCollector(), reverse_schema_path=False).build(xmark_db)
+    assert reversed_index.count(("item", "quantity"), "2", anchored=False) > 0
+    with pytest.raises(UnsupportedLookupError):
+        forward_index.count(("item", "quantity"), "2", anchored=False)
+
+
+# ----------------------------------------------------------------------
+# (d) index-nested-loop support — DP forced merge vs forced INL
+# ----------------------------------------------------------------------
+def test_ablation_inl_vs_merge_on_low_branch_point(xmark_context):
+    workload_query = query("Q10x")
+    database = xmark_context.database
+    expected = database.oracle(workload_query.xpath)
+    inl = database.query(workload_query.xpath, strategy="datapaths", force_plan="inl")
+    merge = database.query(workload_query.xpath, strategy="datapaths", force_plan="merge")
+    assert inl.ids == merge.ids == expected
+    assert inl.total_cost < merge.total_cost
+    print()
+    print(
+        format_table(
+            ("plan", "logical cost"),
+            [("index-nested-loop (BoundIndex)", inl.total_cost),
+             ("sort-merge (FreeIndex only)", merge.total_cost)],
+            title="Ablation (d): index-nested-loop join on Q10x",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Benchmarked ablations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("plan", ("inl", "merge"))
+def test_benchmark_dp_plan_choice(benchmark, plan, xmark_context):
+    workload_query = query("Q10x")
+    benchmark(
+        lambda: xmark_context.database.query(
+            workload_query.xpath, strategy="datapaths", force_plan=plan
+        )
+    )
+
+
+@pytest.mark.parametrize("reverse", (True, False), ids=("reversed", "forward"))
+def test_benchmark_schema_path_direction_on_anchored_lookup(benchmark, reverse, xmark_db):
+    index = RootPathsIndex(stats=StatsCollector(), reverse_schema_path=reverse).build(xmark_db)
+    labels = ("site", "regions", "namerica", "item", "quantity")
+    benchmark(lambda: index.count(labels, "2", anchored=True))

@@ -1,0 +1,86 @@
+"""Figure 9 — index space (MB) for RP, DP, Edge, DG+Edge, IF+Edge, ASR, JI.
+
+The paper reports (100 MB XMark / 50 MB DBLP, after lossless IdList
+compression):
+
+    XMark: RP 119, DP 431, Edge 127, DG+Edge 169, IF+Edge 167, ASR 464, JI 822
+    DBLP:  RP  80, DP  83, Edge 106, DG+Edge 133, IF+Edge 151, ASR  93, JI 318
+
+Absolute megabytes depend on the dataset scale; the *shape* asserted
+here is the paper's: DP is several times larger than RP on the deep
+XMark data but close to RP on shallow DBLP; JI is the largest
+structure; ASR is larger than RP; and the combined DataGuide+Edge /
+IndexFabric+Edge footprints exceed the bare Edge table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import size_table
+from repro.bench.harness import STRATEGY_LABELS
+
+#: Figure 9 columns: strategy -> the indices whose sizes add up to that column.
+FIGURE9_COLUMNS = {
+    "RP": ("rootpaths",),
+    "DP": ("datapaths",),
+    "Edge": ("edge",),
+    "DG+Edge": ("dataguide", "edge"),
+    "IF+Edge": ("index_fabric", "edge"),
+    "ASR": ("asr",),
+    "JI": ("join_index",),
+}
+
+
+def _figure9_row(context) -> dict[str, float]:
+    sizes = context.index_sizes_mb()
+    return {
+        column: sum(sizes[name] for name in parts)
+        for column, parts in FIGURE9_COLUMNS.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def figure9(xmark_context, dblp_context):
+    rows = {
+        "xmark": _figure9_row(xmark_context),
+        "dblp": _figure9_row(dblp_context),
+    }
+    print()
+    print(size_table(rows, title="Figure 9 — index space (MB)"))
+    return rows
+
+
+def test_fig09_xmark_shape(figure9):
+    xmark = figure9["xmark"]
+    # DATAPATHS pays a clear space premium over ROOTPATHS on deep data.
+    assert xmark["DP"] > 1.5 * xmark["RP"]
+    # Join Indices are the largest structure, ASR is also above RP.
+    assert xmark["JI"] == max(xmark.values())
+    assert xmark["ASR"] > xmark["RP"]
+    # Combined baselines cost more than the bare Edge table.
+    assert xmark["DG+Edge"] > xmark["Edge"]
+    assert xmark["IF+Edge"] > xmark["Edge"]
+
+
+def test_fig09_dblp_shape(figure9):
+    dblp = figure9["dblp"]
+    # DATAPATHS still costs more than ROOTPATHS (our byte model does not
+    # reproduce the paper's near-parity on DBLP — see EXPERIMENTS.md),
+    # but Join Indices remain the largest structure, as in the paper.
+    assert dblp["DP"] > dblp["RP"]
+    assert dblp["JI"] == max(dblp.values())
+
+
+def test_fig09_depth_drives_datapaths_premium(figure9):
+    xmark_ratio = figure9["xmark"]["DP"] / figure9["xmark"]["RP"]
+    dblp_ratio = figure9["dblp"]["DP"] / figure9["dblp"]["RP"]
+    # The deep document pays a clearly larger relative premium than the
+    # shallow one (431/119 vs 83/80 in the paper).
+    assert dblp_ratio < 0.85 * xmark_ratio
+
+
+def test_fig09_benchmark_size_computation(benchmark, xmark_context):
+    """Wall-clock cost of recomputing the Figure 9 row (size accounting)."""
+    row = benchmark(_figure9_row, xmark_context)
+    assert row["RP"] > 0

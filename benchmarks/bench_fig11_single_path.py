@@ -1,0 +1,90 @@
+"""Figure 11 — single-path queries of increasing result cardinality.
+
+Q1–Q3 on XMark (left plot) and DBLP (right plot): the paper shows RP,
+DP and IF+Edge staying fast as selectivity decreases, while Edge and
+DG+Edge degrade badly because the schema path and the value are indexed
+separately and must be joined.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_strategies, measurement_table
+from repro.workloads import query
+
+from conftest import PATH_STRATEGIES
+
+XMARK_QUERIES = ("Q1x", "Q2x", "Q3x")
+DBLP_QUERIES = ("Q1d", "Q2d", "Q3d")
+
+
+@pytest.fixture(scope="module")
+def figure11(xmark_context, dblp_context):
+    results = {}
+    for qid in XMARK_QUERIES:
+        results[qid] = compare_strategies(xmark_context, query(qid), PATH_STRATEGIES)
+    for qid in DBLP_QUERIES:
+        results[qid] = compare_strategies(dblp_context, query(qid), PATH_STRATEGIES)
+    print()
+    print(measurement_table(results, metric="total_cost", title="Figure 11 — logical cost"))
+    print(measurement_table(results, metric="elapsed_ms", title="Figure 11 — wall time (ms)"))
+    return results
+
+
+def test_fig11_all_strategies_correct(figure11):
+    for qid, per_strategy in figure11.items():
+        for strategy, measurement in per_strategy.items():
+            assert measurement.correct, f"{strategy} wrong on {qid}"
+
+
+def test_fig11_cardinality_increases_across_the_sweep(figure11):
+    assert (
+        figure11["Q1x"]["rootpaths"].cardinality
+        < figure11["Q2x"]["rootpaths"].cardinality
+        < figure11["Q3x"]["rootpaths"].cardinality
+    )
+    assert (
+        figure11["Q1d"]["rootpaths"].cardinality
+        < figure11["Q2d"]["rootpaths"].cardinality
+        < figure11["Q3d"]["rootpaths"].cardinality
+    )
+
+
+def test_fig11_rp_and_fabric_stay_cheap_edge_degrades(figure11):
+    for qid in ("Q2x", "Q3x", "Q2d", "Q3d"):
+        per_strategy = figure11[qid]
+        rp = per_strategy["rootpaths"].total_cost
+        edge = per_strategy["edge"].total_cost
+        dataguide = per_strategy["dataguide_edge"].total_cost
+        # Edge and DG+Edge pay per-step joins / separate value lookups.
+        assert edge > 2 * rp, qid
+        assert dataguide > rp, qid
+
+
+def test_fig11_datapaths_close_to_rootpaths(figure11):
+    for qid in XMARK_QUERIES + DBLP_QUERIES:
+        rp = figure11[qid]["rootpaths"].total_cost
+        dp = figure11[qid]["datapaths"].total_cost
+        # DP carries HeadId overhead but stays in the same ballpark
+        # (the paper: "only slightly worse").
+        assert dp <= 3 * rp + 50, qid
+
+
+@pytest.mark.parametrize("qid", XMARK_QUERIES + DBLP_QUERIES)
+@pytest.mark.parametrize("strategy", ("rootpaths", "datapaths", "index_fabric_edge"))
+def test_fig11_benchmark_fast_strategies(benchmark, qid, strategy, xmark_context, dblp_context):
+    context = xmark_context if qid.endswith("x") else dblp_context
+    workload_query = query(qid)
+    benchmark(lambda: context.database.query(workload_query.xpath, strategy=strategy))
+
+
+@pytest.mark.parametrize("qid", ("Q1x", "Q3x", "Q3d"))
+def test_fig11_benchmark_edge_baseline(benchmark, qid, xmark_context, dblp_context):
+    context = xmark_context if qid.endswith("x") else dblp_context
+    workload_query = query(qid)
+    benchmark.pedantic(
+        lambda: context.database.query(workload_query.xpath, strategy="edge"),
+        rounds=1,
+        iterations=1,
+    )

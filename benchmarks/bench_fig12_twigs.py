@@ -1,0 +1,105 @@
+"""Figure 12 — twig queries without recursion.
+
+(a) all branches selective (Q4x, Q5x + single-branch baseline),
+(b) selective + unselective branches (Q6x, Q7x),
+(c) all branches unselective (Q8x, Q9x),
+(d) low branch points (Q10x, Q11x) — the index-nested-loop case.
+
+Shape reproduced: RP and DP stay orders of magnitude cheaper than the
+Edge / DG+Edge / IF+Edge combinations because IdLists give the branch
+point ids without joins; in (d) DP beats RP because only DATAPATHS
+supports the index-nested-loop strategy through BoundIndex probes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_strategies, measurement_table
+from repro.workloads import query
+
+from conftest import PATH_STRATEGIES
+
+GROUPS = {
+    "fig12a": ("Q4x-base", "Q4x", "Q5x"),
+    "fig12b": ("Q6x", "Q7x"),
+    "fig12c": ("Q8x", "Q9x"),
+    "fig12d": ("Q10x", "Q11x"),
+}
+
+
+@pytest.fixture(scope="module")
+def figure12(xmark_context):
+    results = {}
+    for qids in GROUPS.values():
+        for qid in qids:
+            results[qid] = compare_strategies(xmark_context, query(qid), PATH_STRATEGIES)
+    print()
+    print(measurement_table(results, metric="total_cost", title="Figure 12 — logical cost"))
+    print(measurement_table(results, metric="elapsed_ms", title="Figure 12 — wall time (ms)"))
+    return results
+
+
+def test_fig12_all_strategies_correct(figure12):
+    for qid, per_strategy in figure12.items():
+        for strategy, measurement in per_strategy.items():
+            assert measurement.correct, f"{strategy} wrong on {qid}"
+
+
+def test_fig12a_selective_twigs_scale_gracefully(figure12):
+    # Adding branches to a selective twig keeps RP/DP cheap (well under the
+    # cost the Edge-style plans pay).
+    for qid in ("Q4x", "Q5x"):
+        rp = figure12[qid]["rootpaths"].total_cost
+        dp = figure12[qid]["datapaths"].total_cost
+        edge = figure12[qid]["edge"].total_cost
+        assert rp < edge and dp < edge, qid
+
+
+def test_fig12bc_idlists_beat_edge_by_orders_of_magnitude(figure12):
+    for qid in ("Q6x", "Q7x", "Q8x", "Q9x"):
+        rp = figure12[qid]["rootpaths"].total_cost
+        edge = figure12[qid]["edge"].total_cost
+        dataguide = figure12[qid]["dataguide_edge"].total_cost
+        fabric = figure12[qid]["index_fabric_edge"].total_cost
+        assert edge > 5 * rp, qid
+        assert dataguide > 3 * rp, qid
+        assert fabric > 3 * rp, qid
+
+
+def test_fig12d_index_nested_loop_benefit(figure12):
+    # With a low branch point and one selective branch, DP's BoundIndex
+    # probes beat RP's merge plan (the paper's most surprising result:
+    # RP can even lose to IF+Edge here).
+    for qid in ("Q10x", "Q11x"):
+        rp = figure12[qid]["rootpaths"].total_cost
+        dp = figure12[qid]["datapaths"].total_cost
+        assert dp < rp, qid
+
+
+def test_fig12_branch_count_increases_cost_for_edge_not_rp(figure12):
+    rp_growth = figure12["Q5x"]["rootpaths"].total_cost / max(
+        1, figure12["Q4x-base"]["rootpaths"].total_cost
+    )
+    edge_growth = figure12["Q5x"]["edge"].total_cost / max(
+        1, figure12["Q4x-base"]["edge"].total_cost
+    )
+    assert edge_growth > rp_growth
+
+
+@pytest.mark.parametrize("qid", ("Q4x", "Q5x", "Q6x", "Q7x", "Q8x", "Q9x", "Q10x", "Q11x"))
+@pytest.mark.parametrize("strategy", ("rootpaths", "datapaths"))
+def test_fig12_benchmark_rp_dp(benchmark, qid, strategy, xmark_context):
+    workload_query = query(qid)
+    benchmark(lambda: xmark_context.database.query(workload_query.xpath, strategy=strategy))
+
+
+@pytest.mark.parametrize("qid", ("Q4x", "Q8x", "Q10x"))
+@pytest.mark.parametrize("strategy", ("edge", "dataguide_edge", "index_fabric_edge"))
+def test_fig12_benchmark_edge_baselines(benchmark, qid, strategy, xmark_context):
+    workload_query = query(qid)
+    benchmark.pedantic(
+        lambda: xmark_context.database.query(workload_query.xpath, strategy=strategy),
+        rounds=1,
+        iterations=1,
+    )

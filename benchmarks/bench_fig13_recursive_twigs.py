@@ -1,0 +1,88 @@
+"""Figure 13 — twig queries with a ``//`` branch point, vs. ASR and Join Indices.
+
+Q12x–Q15x contain ``/site//item[...]`` branches whose recursion matches
+six schema paths (one per XMark region).  The paper's findings:
+
+* DATAPATHS beats ASR and Join Indices (up to ~5x) because the unified
+  index is probed once, while ASR/JI must access one relation per
+  matching subpath;
+* the gap narrows when every branch is unselective (join cost dominates);
+* ROOTPATHS does poorly here because it cannot use index-nested-loop
+  joins;
+* Join Indices need more space and more joins than ASR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_strategies, measurement_table
+from repro.workloads import query
+
+from conftest import RELATIONAL_BASELINES
+
+MIXED = ("Q12x", "Q13x")
+UNSELECTIVE = ("Q14x", "Q15x")
+
+
+@pytest.fixture(scope="module")
+def figure13(xmark_context):
+    results = {}
+    for qid in MIXED + UNSELECTIVE:
+        results[qid] = compare_strategies(xmark_context, query(qid), RELATIONAL_BASELINES)
+    print()
+    print(measurement_table(results, metric="total_cost", title="Figure 13 — logical cost"))
+    print(measurement_table(results, metric="elapsed_ms", title="Figure 13 — wall time (ms)"))
+    return results
+
+
+def test_fig13_all_strategies_correct(figure13):
+    for qid, per_strategy in figure13.items():
+        for strategy, measurement in per_strategy.items():
+            assert measurement.correct, f"{strategy} wrong on {qid}"
+
+
+def test_fig13a_datapaths_beats_asr_and_ji_when_selective_branch_exists(figure13):
+    for qid in MIXED:
+        dp = figure13[qid]["datapaths"].total_cost
+        asr = figure13[qid]["asr"].total_cost
+        ji = figure13[qid]["join_index"].total_cost
+        assert asr > dp, qid
+        assert ji > dp, qid
+
+
+def test_fig13_gap_narrows_for_unselective_branches(figure13):
+    mixed_ratio = figure13["Q12x"]["asr"].total_cost / figure13["Q12x"]["datapaths"].total_cost
+    unselective_ratio = (
+        figure13["Q14x"]["asr"].total_cost / figure13["Q14x"]["datapaths"].total_cost
+    )
+    assert unselective_ratio < mixed_ratio
+
+
+def test_fig13_rootpaths_loses_inl_advantage(figure13):
+    # RP has no BoundIndex, so on the selective-branch queries it is
+    # clearly worse than DP.
+    for qid in MIXED:
+        assert figure13[qid]["rootpaths"].total_cost > figure13[qid]["datapaths"].total_cost
+
+
+def test_fig13_ji_needs_more_relation_accesses_than_dp(xmark_context):
+    ji = xmark_context.database.indexes["join_index"]
+    asr = xmark_context.database.indexes["asr"]
+    dp = xmark_context.database.indexes["datapaths"]
+    # One unified structure vs hundreds of per-path relations (the
+    # manageability argument of Section 5.2.6).
+    assert asr.relation_count > 50
+    assert ji.relation_count > asr.relation_count
+    assert dp.estimated_size_bytes() < ji.estimated_size_bytes()
+
+
+@pytest.mark.parametrize("qid", MIXED + UNSELECTIVE)
+@pytest.mark.parametrize("strategy", RELATIONAL_BASELINES)
+def test_fig13_benchmark(benchmark, qid, strategy, xmark_context):
+    workload_query = query(qid)
+    benchmark.pedantic(
+        lambda: xmark_context.database.query(workload_query.xpath, strategy=strategy),
+        rounds=2,
+        iterations=1,
+    )

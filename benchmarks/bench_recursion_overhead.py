@@ -1,0 +1,69 @@
+"""Section 5.2.4 — overhead of recursive ("//") queries for RP and DP.
+
+The paper reports that ROOTPATHS and DATAPATHS evaluate the Section
+5.2.2 twigs with a leading ``//`` at less than ~5 % extra cost, because
+the recursion becomes a B+-tree prefix match on the reversed schema
+path.  Here the same queries are run in both forms and the relative
+overhead is asserted to stay small (a generous 25 % bound at this
+dataset scale, where constant factors weigh more than in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.workloads import query
+
+from conftest import FAST_STRATEGIES
+
+QUERIES = ("Q4x", "Q5x", "Q6x", "Q7x", "Q8x", "Q9x")
+
+
+@pytest.fixture(scope="module")
+def recursion_overhead(xmark_context):
+    rows = []
+    results = {}
+    for qid in QUERIES:
+        workload_query = query(qid)
+        for strategy in FAST_STRATEGIES:
+            plain = xmark_context.measure_xpath(workload_query.xpath, strategy, qid=qid)
+            recursive = xmark_context.measure_xpath(
+                workload_query.recursive_variant(), strategy, qid=qid + "//"
+            )
+            overhead = recursive.total_cost / max(1, plain.total_cost) - 1.0
+            results[(qid, strategy)] = (plain, recursive, overhead)
+            rows.append(
+                (qid, strategy, plain.total_cost, recursive.total_cost, f"{overhead * 100:.1f}%")
+            )
+    print()
+    print(
+        format_table(
+            ("query", "strategy", "plain cost", "// cost", "overhead"),
+            rows,
+            title="Section 5.2.4 — recursion overhead",
+        )
+    )
+    return results
+
+
+def test_recursive_variants_return_same_answers(recursion_overhead):
+    for (qid, strategy), (plain, recursive, _overhead) in recursion_overhead.items():
+        assert plain.correct and recursive.correct, (qid, strategy)
+        assert plain.cardinality == recursive.cardinality, (qid, strategy)
+
+
+def test_recursion_overhead_is_small(recursion_overhead):
+    overheads = [overhead for _plain, _recursive, overhead in recursion_overhead.values()]
+    assert max(overheads) < 0.25
+    # And on average well below the bound, mirroring the paper's "<5%".
+    assert sum(overheads) / len(overheads) < 0.10
+
+
+@pytest.mark.parametrize("qid", ("Q4x", "Q8x"))
+@pytest.mark.parametrize("strategy", FAST_STRATEGIES)
+@pytest.mark.parametrize("recursive", (False, True), ids=("plain", "recursive"))
+def test_benchmark_recursion_overhead(benchmark, qid, strategy, recursive, xmark_context):
+    workload_query = query(qid)
+    xpath = workload_query.recursive_variant() if recursive else workload_query.xpath
+    benchmark(lambda: xmark_context.database.query(xpath, strategy=strategy))

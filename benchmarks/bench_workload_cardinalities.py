@@ -1,0 +1,93 @@
+"""Figures 7, 8 and 10 — the workload itself.
+
+The paper's Figures 7/8 list every query with its per-branch result
+size, and Figure 10 groups them by number of branches, selectivity and
+recursion.  This bench regenerates the same table against the synthetic
+datasets and asserts that the selectivity *classes* (selective /
+moderate / unselective, per branch) come out in the intended order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.query import parse_xpath
+from repro.workloads import ALL_QUERIES, query
+
+
+@pytest.fixture(scope="module")
+def cardinalities(xmark_context, dblp_context):
+    rows = []
+    per_query = {}
+    for workload_query in ALL_QUERIES:
+        context = xmark_context if workload_query.dataset == "xmark" else dblp_context
+        matcher = context.database.matcher()
+        twig = parse_xpath(workload_query.xpath)
+        branch_sizes = matcher.branch_cardinalities(twig)
+        result_size = matcher.count_matches(twig)
+        per_query[workload_query.qid] = (branch_sizes, result_size)
+        rows.append(
+            (
+                workload_query.qid,
+                workload_query.branches,
+                workload_query.selectivity,
+                workload_query.recursions,
+                "/".join(str(s) for s in branch_sizes),
+                result_size,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("query", "branches", "class", "recursions", "per-branch sizes", "result"),
+            rows,
+            title="Figures 7/8/10 — workload cardinalities",
+        )
+    )
+    return per_query
+
+
+def test_fig7_single_path_selectivity_ordering(cardinalities):
+    assert cardinalities["Q1x"][1] == 1
+    assert cardinalities["Q1d"][1] == 1
+    assert cardinalities["Q1x"][1] < cardinalities["Q2x"][1] < cardinalities["Q3x"][1]
+    assert cardinalities["Q1d"][1] < cardinalities["Q2d"][1] < cardinalities["Q3d"][1]
+
+
+def test_fig7_branch_counts_match_catalog(cardinalities):
+    for workload_query in ALL_QUERIES:
+        branch_sizes, _result = cardinalities[workload_query.qid]
+        assert len(branch_sizes) == workload_query.branches, workload_query.qid
+
+
+def test_fig7_selective_branches_are_small(cardinalities):
+    # The planted selective predicates: income=46814.17, Hagen Artosi,
+    # person22082, quantity=5.
+    assert cardinalities["Q4x"][0][0] == 1
+    assert cardinalities["Q5x"][0][1] == 1
+    assert cardinalities["Q10x"][0][0] == 3
+    assert 1 <= cardinalities["Q12x"][0][0] <= cardinalities["Q12x"][0][1]
+
+
+def test_fig8_recursive_queries_have_multiple_item_paths(xmark_context):
+    from repro.paths import PathPattern, distinct_schema_paths, matching_schema_paths
+
+    paths = distinct_schema_paths(xmark_context.database.db)
+    item_paths = matching_schema_paths(PathPattern((("site",), ("item",)), anchored=True), paths)
+    assert len(item_paths) == 6  # the six XMark regions of Section 5.2.6
+
+
+def test_fig10_mixed_queries_have_both_small_and_large_branches(cardinalities):
+    for qid in ("Q6x", "Q7x", "Q12x", "Q13x"):
+        sizes, _ = cardinalities[qid]
+        assert min(sizes) * 5 <= max(sizes), qid
+
+
+@pytest.mark.parametrize("qid", ("Q1x", "Q5x", "Q9x", "Q13x"))
+def test_benchmark_oracle_matching(benchmark, qid, xmark_context):
+    """Wall-clock cost of the naive oracle (for scale, not a paper figure)."""
+    workload_query = query(qid)
+    matcher = xmark_context.database.matcher()
+    twig = parse_xpath(workload_query.xpath)
+    benchmark.pedantic(lambda: matcher.match_ids(twig), rounds=1, iterations=1)

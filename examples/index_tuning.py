@@ -1,0 +1,62 @@
+"""Index tuning: the space/functionality tradeoffs of Section 4.
+
+Walks through the compression options of ROOTPATHS and DATAPATHS —
+differential IdList encoding, SchemaPath dictionary encoding, and
+workload-based HeadId pruning — and shows what each saves and what
+each gives up.
+
+Run with:  python examples/index_tuning.py
+"""
+
+from repro import TwigIndexDatabase, UnsupportedLookupError
+from repro.datasets import generate_xmark
+from repro.indexes import DataPathsIndex, RootPathsIndex
+from repro.paths import HeadIdPruner
+from repro.query import parse_xpath
+from repro.storage import StatsCollector
+from repro.workloads import queries_for_dataset
+
+
+def size_kb(index) -> float:
+    return index.estimated_size_bytes() / 1024.0
+
+
+def main() -> None:
+    db = TwigIndexDatabase.from_documents([generate_xmark(scale=0.1)])
+    xml_db = db.db
+    print("Dataset:", db.describe())
+
+    print("\n-- Lossless: differential IdList encoding (Section 4.1)")
+    rp_raw = RootPathsIndex(stats=StatsCollector(), differential_idlists=False).build(xml_db)
+    rp = RootPathsIndex(stats=StatsCollector()).build(xml_db)
+    print(f"  ROOTPATHS raw IdLists:          {size_kb(rp_raw):9.1f} KB")
+    print(f"  ROOTPATHS delta-encoded IdLists:{size_kb(rp):9.1f} KB")
+
+    print("\n-- Lossy: SchemaPath dictionary encoding (Section 4.2)")
+    dp = DataPathsIndex(stats=StatsCollector()).build(xml_db)
+    dp_dict = DataPathsIndex(stats=StatsCollector(), schema_path_dictionary=True).build(xml_db)
+    print(f"  DATAPATHS:                      {size_kb(dp):9.1f} KB")
+    print(f"  DATAPATHS + SchemaPathId:       {size_kb(dp_dict):9.1f} KB")
+    try:
+        list(dp_dict.free_lookup(("item", "quantity"), "2", anchored=False))
+    except UnsupportedLookupError as error:
+        print(f"  ... but '//' lookups now fail: {error}")
+
+    print("\n-- Lossy: workload-based HeadId pruning (Section 4.3)")
+    workload = [parse_xpath(q.xpath) for q in queries_for_dataset("xmark")]
+    pruner = HeadIdPruner.from_workload(workload)
+    dp_pruned = DataPathsIndex(stats=StatsCollector(), head_pruner=pruner).build(xml_db)
+    print(f"  retained head labels: {sorted(pruner.branch_point_labels)}")
+    print(f"  DATAPATHS pruned:               {size_kb(dp_pruned):9.1f} KB")
+    site_id = xml_db.documents[0].root.node_id
+    in_workload = list(dp_pruned.bound_lookup(site_id, ("item", "quantity"), "2"))
+    print(f"  workload probe below 'site' still works: {len(in_workload)} matches")
+    mailbox = next(iter(xml_db.iter_by_label("mailbox")))
+    try:
+        list(dp_pruned.bound_lookup(mailbox.node_id, ("mail",), None))
+    except UnsupportedLookupError:
+        print("  probe below a pruned head ('mailbox') is rejected, as expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only exists
+so that `pip install -e .` can fall back to the legacy setuptools
+develop path when PEP 517 editable builds are unavailable offline.
+"""
+from setuptools import setup
+
+setup()

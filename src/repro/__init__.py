@@ -1,0 +1,57 @@
+"""repro — reproduction of "Index Structures for Matching XML Twigs Using
+Relational Query Processors" (Chen, Gehrke, Korn, Koudas,
+Shanmugasundaram, Srivastava; ICDE 2005).
+
+The package implements the paper's family of XML path indices —
+including the novel ROOTPATHS and DATAPATHS structures — on top of a
+self-contained relational substrate (B+-trees, heap files, join
+operators), together with the datasets, workloads and benchmark harness
+needed to regenerate every table and figure of the paper's evaluation.
+
+Typical entry points:
+
+* :class:`TwigIndexDatabase` — load XML, build indices, run twig queries,
+* :mod:`repro.datasets` — synthetic XMark-like and DBLP-like documents,
+* :mod:`repro.workloads` — the Q1x–Q15x / Q1d–Q3d query workload,
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from .engine import TwigIndexDatabase
+from .errors import (
+    DocumentError,
+    PlanningError,
+    QueryNotSupportedError,
+    QueryParseError,
+    ReproError,
+    StorageError,
+    UnsupportedLookupError,
+    XmlParseError,
+)
+from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
+from .query.parser import parse_xpath
+from .xmltree.document import Document, TreeBuilder, XmlDatabase
+from .xmltree.parser import parse_file, parse_string
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_STRATEGIES",
+    "Document",
+    "DocumentError",
+    "PlanningError",
+    "QueryNotSupportedError",
+    "QueryParseError",
+    "QueryResult",
+    "ReproError",
+    "StorageError",
+    "TreeBuilder",
+    "TwigIndexDatabase",
+    "TwigQueryEngine",
+    "UnsupportedLookupError",
+    "XmlDatabase",
+    "XmlParseError",
+    "parse_file",
+    "parse_string",
+    "parse_xpath",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Benchmark harness: experiment contexts, measurements and reporting."""
+
+from .harness import (
+    DEFAULT_SCALE,
+    ExperimentContext,
+    Measurement,
+    STRATEGY_LABELS,
+    compare_strategies,
+    get_context,
+)
+from .reporting import format_table, measurement_table, size_table, speedup
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentContext",
+    "Measurement",
+    "STRATEGY_LABELS",
+    "compare_strategies",
+    "format_table",
+    "get_context",
+    "measurement_table",
+    "size_table",
+    "speedup",
+]

@@ -1,0 +1,82 @@
+"""Formatting helpers that print paper-style tables from measurements."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .harness import Measurement
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A plain-text table (the shape the paper's figures report)."""
+    widths = [len(str(h)) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def measurement_table(
+    measurements: Mapping[str, Mapping[str, Measurement]],
+    metric: str = "total_cost",
+    title: str = "",
+) -> str:
+    """Rows = queries, columns = strategies, cells = the chosen metric.
+
+    ``measurements`` maps query id -> strategy -> Measurement.
+    """
+    strategies: list[str] = []
+    for per_query in measurements.values():
+        for strategy in per_query:
+            if strategy not in strategies:
+                strategies.append(strategy)
+    headers = ["query"] + [
+        measurements[next(iter(measurements))][s].label if measurements else s
+        for s in strategies
+    ]
+    rows = []
+    for qid, per_query in measurements.items():
+        row: list[object] = [qid]
+        for strategy in strategies:
+            measurement = per_query.get(strategy)
+            if measurement is None:
+                row.append("-")
+            elif metric == "elapsed_ms":
+                row.append(f"{measurement.elapsed_seconds * 1000:.1f}")
+            else:
+                row.append(getattr(measurement, metric))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def size_table(sizes_by_dataset: Mapping[str, Mapping[str, float]], title: str = "") -> str:
+    """The Figure 9 layout: rows = datasets, columns = index structures."""
+    columns: list[str] = []
+    for sizes in sizes_by_dataset.values():
+        for name in sizes:
+            if name not in columns:
+                columns.append(name)
+    headers = ["dataset"] + columns
+    rows = []
+    for dataset, sizes in sizes_by_dataset.items():
+        rows.append([dataset] + [f"{sizes.get(c, 0.0):.2f}" for c in columns])
+    return format_table(headers, rows, title=title)
+
+
+def speedup(reference: Measurement, other: Measurement, metric: str = "total_cost") -> float:
+    """How many times cheaper ``reference`` is than ``other``."""
+    reference_value = getattr(reference, metric)
+    other_value = getattr(other, metric)
+    if reference_value <= 0:
+        return float("inf") if other_value > 0 else 1.0
+    return other_value / reference_value

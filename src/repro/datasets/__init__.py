@@ -1,0 +1,26 @@
+"""Datasets: the Figure 1 book, and seeded XMark-like / DBLP-like generators.
+
+The paper's original 100 MB XMark and 50 MB DBLP documents are not
+available offline; these generators produce documents with the same
+schema paths and the same selectivity classes so that every workload
+query exercises the code paths the paper measures (see DESIGN.md §4 for
+the substitution rationale).
+"""
+
+from .books import BOOK_XML, FIGURE_1_QUERY, book_document, build_book_with_builder
+from .dblp import DblpConfig, generate_dblp, generate_dblp_from_config
+from .xmark import REGIONS, XMarkConfig, generate_xmark, generate_xmark_from_config
+
+__all__ = [
+    "BOOK_XML",
+    "DblpConfig",
+    "FIGURE_1_QUERY",
+    "REGIONS",
+    "XMarkConfig",
+    "book_document",
+    "build_book_with_builder",
+    "generate_dblp",
+    "generate_dblp_from_config",
+    "generate_xmark",
+    "generate_xmark_from_config",
+]

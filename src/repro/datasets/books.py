@@ -1,0 +1,59 @@
+"""The running example of Figure 1: a small book document.
+
+Used throughout the tests, the quickstart example and the docstrings.
+The content mirrors Figure 1(a): a book titled "XML" with three
+authors (jane poe, john doe, jane doe), a year, and a chapter with a
+section.
+"""
+
+from __future__ import annotations
+
+from ..xmltree.document import Document, TreeBuilder
+from ..xmltree.parser import parse_string
+
+BOOK_XML = """\
+<book>
+  <title>XML</title>
+  <allauthors>
+    <author><fn>jane</fn><ln>poe</ln></author>
+    <author><fn>john</fn><ln>doe</ln></author>
+    <author><fn>jane</fn><ln>doe</ln></author>
+  </allauthors>
+  <year>2000</year>
+  <chapter>
+    <title>XML</title>
+    <section>
+      <head>Origins</head>
+    </section>
+  </chapter>
+</book>
+"""
+
+#: The twig pattern of Figure 1(c).
+FIGURE_1_QUERY = "/book[title='XML']//author[fn='jane' and ln='doe']"
+
+
+def book_document(name: str = "figure1-book") -> Document:
+    """The Figure 1 document, parsed."""
+    return parse_string(BOOK_XML, name=name)
+
+
+def build_book_with_builder(name: str = "figure1-book") -> Document:
+    """The same document constructed through :class:`TreeBuilder`.
+
+    Exercises the programmatic construction path; tests assert it is
+    structurally identical to the parsed version.
+    """
+    builder = TreeBuilder("book")
+    builder.child("title", text="XML")
+    with builder.element("allauthors"):
+        for first, last in (("jane", "poe"), ("john", "doe"), ("jane", "doe")):
+            with builder.element("author"):
+                builder.child("fn", text=first)
+                builder.child("ln", text=last)
+    builder.child("year", text="2000")
+    with builder.element("chapter"):
+        builder.child("title", text="XML")
+        with builder.element("section"):
+            builder.child("head", text="Origins")
+    return builder.build(name=name)

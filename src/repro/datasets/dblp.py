@@ -1,0 +1,97 @@
+"""A seeded DBLP-like document generator.
+
+The paper's second dataset is a 50 MB DBLP bibliography — a *shallow*
+document (publications directly below the root, fields directly below
+each publication) that contrasts with the deep XMark tree.  This module
+synthesises a bibliography with the same shape and with year values in
+the three selectivity classes of Figure 7:
+
+* ``year = 1950`` — exactly one publication (highly selective, Q1d),
+* ``year = 1979`` — a moderate share (Q2d),
+* ``year = 1998`` — a large share (Q3d).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xmltree.document import Document
+from ..xmltree.nodes import Node, NodeKind
+
+_FIRST_NAMES = ("Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Henry")
+_LAST_NAMES = ("Smith", "Jones", "Chen", "Gehrke", "Korn", "Koudas", "Miller", "Zhang")
+_VENUES = ("SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "WebDB")
+
+
+@dataclass(frozen=True)
+class DblpConfig:
+    """Knobs of the DBLP-like generator."""
+
+    scale: float = 1.0
+    seed: int = 19980507
+    inproceedings: int = 2600
+    articles: int = 1300
+
+    def scaled(self, base: int) -> int:
+        """A count scaled by the configured scale factor (at least 1)."""
+        return max(1, int(round(base * self.scale)))
+
+
+def generate_dblp(scale: float = 1.0, seed: int = 19980507, name: str = "dblp") -> Document:
+    """Generate a DBLP-like bibliography at the given scale."""
+    config = DblpConfig(scale=scale, seed=seed)
+    return generate_dblp_from_config(config, name=name)
+
+
+def generate_dblp_from_config(config: DblpConfig, name: str = "dblp") -> Document:
+    """Generate a DBLP-like bibliography from an explicit configuration."""
+    rng = random.Random(config.seed)
+    root = Node(NodeKind.ELEMENT, "dblp")
+    year_1950_planted = False
+    for number in range(config.scaled(config.inproceedings)):
+        entry = root.add_child(Node(NodeKind.ELEMENT, "inproceedings"))
+        _attribute(entry, "key", f"conf/x/{number}")
+        for _ in range(rng.randrange(1, 4)):
+            _element(entry, "author", _person(rng))
+        _element(entry, "title", f"Paper number {number} on XML twig matching")
+        if not year_1950_planted:
+            year = "1950"
+            year_1950_planted = True
+        else:
+            roll = rng.random()
+            if roll < 0.16:
+                year = "1979"
+            elif roll < 0.66:
+                year = "1998"
+            else:
+                year = str(rng.randrange(1980, 1998))
+        _element(entry, "year", year)
+        _element(entry, "booktitle", rng.choice(_VENUES))
+        _element(entry, "pages", f"{rng.randrange(1, 400)}-{rng.randrange(400, 800)}")
+    for number in range(config.scaled(config.articles)):
+        entry = root.add_child(Node(NodeKind.ELEMENT, "article"))
+        _attribute(entry, "key", f"journals/x/{number}")
+        for _ in range(rng.randrange(1, 3)):
+            _element(entry, "author", _person(rng))
+        _element(entry, "title", f"Journal paper {number} on path indexing")
+        _element(entry, "year", str(rng.randrange(1985, 2004)))
+        _element(entry, "journal", rng.choice(("TODS", "VLDBJ", "TKDE")))
+        _element(entry, "volume", str(rng.randrange(1, 30)))
+    return Document(root, name=name)
+
+
+def _person(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def _element(parent: Node, tag: str, value: str) -> Node:
+    node = parent.add_child(Node(NodeKind.ELEMENT, tag))
+    node.add_child(Node(NodeKind.VALUE, value))
+    return node
+
+
+def _attribute(parent: Node, name: str, value: str) -> Node:
+    node = parent.add_child(Node(NodeKind.ATTRIBUTE, name))
+    node.add_child(Node(NodeKind.VALUE, value))
+    return node

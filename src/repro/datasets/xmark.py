@@ -1,0 +1,224 @@
+"""A seeded XMark-like document generator.
+
+The paper evaluates on a 100 MB scaled XMark document — a deep,
+auction-site schema.  The original generator (and a 100 MB file) is not
+available offline, so this module synthesises a document with the same
+element hierarchy the paper's workload touches and with value
+distributions that reproduce the *selectivity classes* of Figures 7/8:
+
+* ``/site/regions/<region>/item`` across the six XMark regions (so a
+  recursive ``//item`` pattern matches six schema paths, the situation
+  Section 5.2.6 analyses),
+* ``item/quantity`` with one highly selective value (``5``), a
+  moderately selective value (``2``) and an unselective value (``1``),
+* ``people/person/profile/@income`` with a unique value
+  (``46814.17``) and an unselective value (``9876.00``),
+* one ``person/name`` equal to ``Hagen Artosi``,
+* ``open_auction/@increase`` with a selective (``75.00``) and an
+  unselective (``3.00``) value, ``bidder/@increase``,
+  ``annotation/author/@person`` (three auctions carry
+  ``person22082``), and a ``time`` child per auction,
+* ``item/incategory/category`` with a selective ``category440``,
+* ``item/location`` with both ``united states`` and ``United States``
+  spellings (two different selectivities, as in Q7x vs Q14x),
+* ``item/mailbox/mail/{date,to,from}``.
+
+Absolute cardinalities scale linearly with ``scale``; the defaults keep
+index construction fast on a laptop while preserving the ratios between
+the selective / moderate / unselective classes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xmltree.document import Document
+from ..xmltree.nodes import Node, NodeKind
+
+
+#: The six XMark regions; item volume is skewed towards namerica.
+REGIONS = (
+    ("namerica", 0.40),
+    ("europe", 0.25),
+    ("asia", 0.15),
+    ("africa", 0.07),
+    ("australia", 0.06),
+    ("samerica", 0.07),
+)
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Knobs of the XMark-like generator."""
+
+    scale: float = 1.0
+    seed: int = 20050405
+    items: int = 1100
+    persons: int = 500
+    auctions: int = 650
+    mails_per_item_max: int = 3
+    categories: int = 120
+
+    def scaled(self, base: int) -> int:
+        """A count scaled by the configured scale factor (at least 1)."""
+        return max(1, int(round(base * self.scale)))
+
+
+def generate_xmark(
+    scale: float = 1.0, seed: int = 20050405, name: str = "xmark"
+) -> Document:
+    """Generate an XMark-like document at the given scale."""
+    config = XMarkConfig(scale=scale, seed=seed)
+    return generate_xmark_from_config(config, name=name)
+
+
+def generate_xmark_from_config(config: XMarkConfig, name: str = "xmark") -> Document:
+    """Generate an XMark-like document from an explicit configuration."""
+    rng = random.Random(config.seed)
+    site = Node(NodeKind.ELEMENT, "site")
+    _add_regions(site, config, rng)
+    _add_people(site, config, rng)
+    _add_open_auctions(site, config, rng)
+    return Document(site, name=name)
+
+
+# ----------------------------------------------------------------------
+# Regions and items
+# ----------------------------------------------------------------------
+def _add_regions(site: Node, config: XMarkConfig, rng: random.Random) -> None:
+    regions = site.add_child(Node(NodeKind.ELEMENT, "regions"))
+    total_items = config.scaled(config.items)
+    # Exact planted values for the highly selective predicates.
+    quantity_five_planted = False
+    category_440_target = max(1, int(round(total_items * 0.02)))
+    category_440_emitted = 0
+    item_number = 0
+    for region_name, share in REGIONS:
+        region = regions.add_child(Node(NodeKind.ELEMENT, region_name))
+        region_items = max(1, int(round(total_items * share)))
+        for _ in range(region_items):
+            item_number += 1
+            item = region.add_child(Node(NodeKind.ELEMENT, "item"))
+            _element(item, "name", f"item {item_number}")
+            # Quantity: one '5' in namerica, '2' moderate, '1' unselective.
+            if region_name == "namerica" and not quantity_five_planted:
+                quantity = "5"
+                quantity_five_planted = True
+            else:
+                roll = rng.random()
+                if roll < 0.28:
+                    quantity = "2"
+                elif roll < 0.83:
+                    quantity = "1"
+                else:
+                    quantity = "3"
+            _element(item, "quantity", quantity)
+            # Location: two spellings with different selectivities.
+            roll = rng.random()
+            if roll < 0.30:
+                location = "united states"
+            elif roll < 0.72:
+                location = "United States"
+            elif roll < 0.85:
+                location = "germany"
+            else:
+                location = "japan"
+            _element(item, "location", location)
+            _element(item, "payment", rng.choice(["Cash", "Creditcard", "Money order"]))
+            incategory = item.add_child(Node(NodeKind.ELEMENT, "incategory"))
+            if category_440_emitted < category_440_target and rng.random() < 0.05:
+                category = "category440"
+                category_440_emitted += 1
+            else:
+                category = f"category{rng.randrange(config.categories)}"
+            _element(incategory, "category", category)
+            mailbox = item.add_child(Node(NodeKind.ELEMENT, "mailbox"))
+            for mail_number in range(rng.randrange(config.mails_per_item_max + 1)):
+                mail = mailbox.add_child(Node(NodeKind.ELEMENT, "mail"))
+                _element(mail, "date", f"{rng.randrange(1, 29):02d}/{rng.randrange(1, 13):02d}/2000")
+                _element(mail, "to", f"person{rng.randrange(config.scaled(config.persons))}")
+                _element(mail, "from", f"person{rng.randrange(config.scaled(config.persons))}")
+
+
+# ----------------------------------------------------------------------
+# People
+# ----------------------------------------------------------------------
+def _add_people(site: Node, config: XMarkConfig, rng: random.Random) -> None:
+    people = site.add_child(Node(NodeKind.ELEMENT, "people"))
+    total_persons = config.scaled(config.persons)
+    hagen_planted = False
+    income_unique_planted = False
+    for person_number in range(total_persons):
+        person = people.add_child(Node(NodeKind.ELEMENT, "person"))
+        _attribute(person, "id", f"person{person_number}")
+        if not hagen_planted:
+            name = "Hagen Artosi"
+            hagen_planted = True
+        else:
+            name = f"Person {person_number}"
+        _element(person, "name", name)
+        _element(person, "emailaddress", f"mailto:person{person_number}@example.com")
+        profile = person.add_child(Node(NodeKind.ELEMENT, "profile"))
+        if not income_unique_planted:
+            income = "46814.17"
+            income_unique_planted = True
+        elif rng.random() < 0.20:
+            income = "9876.00"
+        else:
+            income = f"{rng.randrange(10_000, 99_999)}.{rng.randrange(10, 99)}"
+        _attribute(profile, "income", income)
+        _element(profile, "education", rng.choice(["High School", "College", "Graduate School"]))
+
+
+# ----------------------------------------------------------------------
+# Open auctions
+# ----------------------------------------------------------------------
+def _add_open_auctions(site: Node, config: XMarkConfig, rng: random.Random) -> None:
+    open_auctions = site.add_child(Node(NodeKind.ELEMENT, "open_auctions"))
+    total_auctions = config.scaled(config.auctions)
+    total_persons = config.scaled(config.persons)
+    person22082_target = min(3, total_auctions)
+    person22082_emitted = 0
+    for auction_number in range(total_auctions):
+        auction = open_auctions.add_child(Node(NodeKind.ELEMENT, "open_auction"))
+        # @increase on the auction: '75.00' selective, '3.00' unselective.
+        roll = rng.random()
+        if roll < 0.01:
+            increase = "75.00"
+        elif roll < 0.55:
+            increase = "3.00"
+        else:
+            increase = "1.50"
+        _attribute(auction, "increase", increase)
+        _element(auction, "current", f"{rng.randrange(10, 500)}.00")
+        bidder = auction.add_child(Node(NodeKind.ELEMENT, "bidder"))
+        _attribute(bidder, "increase", "3.00" if rng.random() < 0.55 else "6.00")
+        _element(bidder, "date", f"{rng.randrange(1, 29):02d}/{rng.randrange(1, 13):02d}/2001")
+        annotation = auction.add_child(Node(NodeKind.ELEMENT, "annotation"))
+        author = annotation.add_child(Node(NodeKind.ELEMENT, "author"))
+        if person22082_emitted < person22082_target and (
+            rng.random() < 0.01 or total_auctions - auction_number <= (
+                person22082_target - person22082_emitted
+            )
+        ):
+            _attribute(author, "person", "person22082")
+            person22082_emitted += 1
+        else:
+            _attribute(author, "person", f"person{rng.randrange(total_persons)}")
+        _element(annotation, "description", f"auction {auction_number}")
+        _element(auction, "time", f"{rng.randrange(0, 24):02d}:{rng.randrange(0, 60):02d}")
+        _element(auction, "itemref", f"item{rng.randrange(config.scaled(config.items))}")
+
+
+# ----------------------------------------------------------------------
+def _element(parent: Node, tag: str, value: str) -> Node:
+    node = parent.add_child(Node(NodeKind.ELEMENT, tag))
+    node.add_child(Node(NodeKind.VALUE, value))
+    return node
+
+
+def _attribute(parent: Node, name: str, value: str) -> Node:
+    node = parent.add_child(Node(NodeKind.ATTRIBUTE, name))
+    node.add_child(Node(NodeKind.VALUE, value))
+    return node

@@ -1,0 +1,150 @@
+"""Top-level facade: :class:`TwigIndexDatabase`.
+
+This is the class most examples and downstream users interact with.
+It bundles an :class:`~repro.xmltree.document.XmlDatabase`, a
+:class:`~repro.planner.evaluator.TwigQueryEngine` and convenience
+loaders so that the whole pipeline — parse XML, build an index family
+member, run twig queries with any evaluation strategy, compare sizes
+and costs — is a handful of lines:
+
+>>> from repro import TwigIndexDatabase
+>>> db = TwigIndexDatabase.from_xml("<book><title>XML</title></book>")
+>>> db.build_index("rootpaths")
+>>> db.query("/book/title", strategy="rootpaths").ids
+[2]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
+from .query.match import NaiveMatcher
+from .query.parser import parse_xpath
+from .query.twig import TwigPattern
+from .storage.stats import StatsCollector
+from .xmltree.document import Document, XmlDatabase
+from .xmltree.parser import parse_file, parse_string
+
+
+class TwigIndexDatabase:
+    """An XML database plus the paper's index family and query engine."""
+
+    def __init__(self, db: Optional[XmlDatabase] = None) -> None:
+        self.db = db if db is not None else XmlDatabase()
+        self.stats = StatsCollector()
+        self.engine = TwigQueryEngine(self.db, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_xml(cls, text: str, name: str = "") -> "TwigIndexDatabase":
+        """Build a database from a single XML string."""
+        instance = cls()
+        instance.load_xml(text, name=name)
+        return instance
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Document]) -> "TwigIndexDatabase":
+        """Build a database from already-parsed documents."""
+        instance = cls()
+        for document in documents:
+            instance.db.add_document(document)
+        return instance
+
+    def load_xml(self, text: str, name: str = "") -> Document:
+        """Parse and add one XML document."""
+        document = parse_string(text, name=name)
+        self.db.add_document(document)
+        return document
+
+    def load_file(self, path: str, name: str = "") -> Document:
+        """Parse and add one XML file."""
+        document = parse_file(path, name=name or path)
+        self.db.add_document(document)
+        return document
+
+    def add_document(self, document: Document) -> Document:
+        """Add an already-parsed document."""
+        return self.db.add_document(document)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def build_index(self, name: str, **options):
+        """Build one index of the family by short name.
+
+        Known names: ``rootpaths``, ``datapaths``, ``edge``,
+        ``dataguide``, ``index_fabric``, ``asr``, ``join_index``.
+        """
+        return self.engine.build_index(name, **options)
+
+    def build_all_indexes(self) -> None:
+        """Build every index required by the default strategy set."""
+        for strategy in DEFAULT_STRATEGIES:
+            self.engine.ensure_indexes_for(strategy)
+
+    def index_sizes_mb(self) -> dict[str, float]:
+        """Sizes (MB) of every index built so far."""
+        return self.engine.index_sizes_mb()
+
+    @property
+    def indexes(self):
+        """Mapping of index name to built index object."""
+        return self.engine.indexes
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def parse(self, xpath: str) -> TwigPattern:
+        """Parse an XPath-subset string into a twig pattern."""
+        return parse_xpath(xpath)
+
+    def query(
+        self,
+        xpath: Union[str, TwigPattern],
+        strategy: str = "rootpaths",
+        **strategy_options,
+    ) -> QueryResult:
+        """Evaluate a twig query (indices are built on demand)."""
+        return self.engine.execute(xpath, strategy=strategy, **strategy_options)
+
+    def query_all_strategies(
+        self,
+        xpath: Union[str, TwigPattern],
+        strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    ) -> dict[str, QueryResult]:
+        """Evaluate one query under several strategies."""
+        return self.engine.execute_all(xpath, strategies=strategies)
+
+    def oracle(self, xpath: Union[str, TwigPattern]) -> list[int]:
+        """Index-free ground truth (naive tree matching)."""
+        return self.engine.oracle_ids(xpath)
+
+    def matcher(self) -> NaiveMatcher:
+        """A naive matcher bound to this database."""
+        return NaiveMatcher(self.db)
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int):
+        """Resolve a node id returned by a query back to its tree node."""
+        return self.db.node(node_id)
+
+    def describe(self) -> dict[str, object]:
+        """Summary statistics of the loaded data (handy in examples)."""
+        return {
+            "documents": len(self.db.documents),
+            "structural_nodes": self.db.node_count,
+            "value_nodes": self.db.value_count,
+            "max_depth": self.db.max_depth,
+            "distinct_tags": len(self.db.tags),
+            "distinct_schema_paths": self.db.distinct_schema_path_count(),
+            "data_size_mb": self.db.estimated_data_size_bytes() / (1024.0 * 1024.0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TwigIndexDatabase(documents={len(self.db.documents)}, "
+            f"nodes={self.db.node_count}, indexes={sorted(self.indexes)})"
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the twig-index reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class XmlParseError(ReproError):
+    """Raised when an XML document cannot be parsed into a node tree."""
+
+
+class DocumentError(ReproError):
+    """Raised for malformed or inconsistent document trees."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage engine (B+-tree, heap files, catalog)."""
+
+
+class KeyEncodingError(StorageError):
+    """Raised when a value cannot be encoded into a sortable index key."""
+
+
+class QueryParseError(ReproError):
+    """Raised when an XPath-subset query string cannot be parsed."""
+
+
+class QueryNotSupportedError(ReproError):
+    """Raised when a query is valid but outside the supported fragment."""
+
+
+class PlanningError(ReproError):
+    """Raised when no evaluation plan can be produced for a query."""
+
+
+class IndexError_(ReproError):
+    """Raised for index construction or lookup failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class IndexNotBuiltError(IndexError_):
+    """Raised when a lookup is attempted against an index that has not
+    been built for the current document set."""
+
+
+class UnsupportedLookupError(IndexError_):
+    """Raised when an index in the family cannot serve a particular
+    lookup (for example a ``//`` query against a SchemaPathId-compressed
+    DATAPATHS index)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload or dataset generator parameters."""

@@ -1,0 +1,42 @@
+"""The XML path index family (Section 3) and its baselines (Section 5.1.2).
+
+Exports every concrete index plus :data:`INDEX_TYPES`, a registry
+mapping the short names used in the figures and the benchmark harness
+to the implementing classes.
+"""
+
+from .asr import AccessSupportRelation, AccessSupportRelationsIndex
+from .base import FamilyDescriptor, PathIndex, PathMatch
+from .dataguide import DataGuideIndex
+from .datapaths import DataPathsIndex
+from .edge import EdgeIndex
+from .index_fabric import IndexFabricIndex
+from .join_index import JoinIndexRelation, JoinIndicesIndex
+from .rootpaths import RootPathsIndex
+
+#: Registry of index short-name -> class, used by the engine and benches.
+INDEX_TYPES: dict[str, type[PathIndex]] = {
+    RootPathsIndex.name: RootPathsIndex,
+    DataPathsIndex.name: DataPathsIndex,
+    EdgeIndex.name: EdgeIndex,
+    DataGuideIndex.name: DataGuideIndex,
+    IndexFabricIndex.name: IndexFabricIndex,
+    AccessSupportRelationsIndex.name: AccessSupportRelationsIndex,
+    JoinIndicesIndex.name: JoinIndicesIndex,
+}
+
+__all__ = [
+    "AccessSupportRelation",
+    "AccessSupportRelationsIndex",
+    "DataGuideIndex",
+    "DataPathsIndex",
+    "EdgeIndex",
+    "FamilyDescriptor",
+    "INDEX_TYPES",
+    "IndexFabricIndex",
+    "JoinIndexRelation",
+    "JoinIndicesIndex",
+    "PathIndex",
+    "PathMatch",
+    "RootPathsIndex",
+]

@@ -1,0 +1,137 @@
+"""Base classes and shared result types for the XML path index family.
+
+Section 3.1 defines the family over the 4-ary relation
+``(HeadId, SchemaPath, LeafValue, IdList)``: an index in the family
+chooses (1) a subset of schema paths to store, (2) a sublist of the
+IdList to return, and (3) which columns to index.  Figure 3 lists the
+members; :class:`FamilyDescriptor` captures that row of the figure for
+each implementation so the framework itself is inspectable at runtime.
+
+Every concrete index implements :class:`PathIndex`:
+
+* ``build(db)`` — construct the index from an :class:`XmlDatabase`,
+* ``estimated_size_bytes()`` — the space number reported in Figure 9,
+* index-specific lookup methods used by the evaluation strategies in
+  :mod:`repro.planner.strategies`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import IndexNotBuiltError
+from ..storage.stats import GLOBAL_STATS, StatsCollector
+from ..xmltree.document import XmlDatabase
+
+
+@dataclass(frozen=True)
+class FamilyDescriptor:
+    """One row of Figure 3: how an index instantiates the framework."""
+
+    schema_path_subset: str
+    id_list_sublist: str
+    indexed_columns: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"paths={self.schema_path_subset}; ids={self.id_list_sublist}; "
+            f"indexed={', '.join(self.indexed_columns)}"
+        )
+
+
+@dataclass(frozen=True)
+class PathMatch:
+    """One data path returned by an index lookup.
+
+    ``labels`` is the forward schema path of the matched row and
+    ``ids`` the node ids aligned with it.  For ROOTPATHS rows the path
+    starts at the document root; for DATAPATHS BoundIndex rows it starts
+    at the head node (head label included, head id excluded — the ids
+    tuple is then one shorter than the labels tuple and callers use
+    :meth:`id_at` which accounts for the offset).
+    """
+
+    labels: tuple[str, ...]
+    ids: tuple[int, ...]
+    value: Optional[str] = None
+    head_id: Optional[int] = None
+
+    @property
+    def tail_id(self) -> int:
+        """Id of the node at the end of the path."""
+        return self.ids[-1]
+
+    def id_at(self, label_position: int) -> Optional[int]:
+        """Node id at a label position (``None`` for the head of a
+        DATAPATHS row, whose id is ``head_id``)."""
+        offset = len(self.labels) - len(self.ids)
+        index = label_position - offset
+        if index < 0:
+            return self.head_id
+        return self.ids[index]
+
+
+class PathIndex(abc.ABC):
+    """Abstract base class for every index in the family."""
+
+    #: Short name used by the registry, the benches and the figures.
+    name: str = "abstract"
+    #: The Figure 3 row for this index.
+    descriptor: FamilyDescriptor = FamilyDescriptor("-", "-", ())
+
+    def __init__(self, stats: Optional[StatsCollector] = None) -> None:
+        self.stats = stats if stats is not None else GLOBAL_STATS
+        self._built = False
+        self.db: Optional[XmlDatabase] = None
+
+    # ------------------------------------------------------------------
+    def build(self, db: XmlDatabase) -> "PathIndex":
+        """Build the index over ``db`` and return ``self``."""
+        self.db = db
+        self._build(db)
+        self._built = True
+        return self
+
+    @abc.abstractmethod
+    def _build(self, db: XmlDatabase) -> None:
+        """Index-specific construction."""
+
+    def _require_built(self) -> XmlDatabase:
+        if not self._built or self.db is None:
+            raise IndexNotBuiltError(f"{self.name} index has not been built")
+        return self.db
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build` has completed."""
+        return self._built
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimated_size_bytes(self) -> int:
+        """Approximate on-disk size (drives the Figure 9 experiment)."""
+
+    def estimated_size_mb(self) -> float:
+        """Size in megabytes (the unit of Figure 9)."""
+        return self.estimated_size_bytes() / (1024.0 * 1024.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "built" if self._built else "empty"
+        return f"{type(self).__name__}({status})"
+
+
+def labels_to_tag_ids(db: XmlDatabase, labels: Sequence[str]) -> Optional[tuple[int, ...]]:
+    """Translate a label path to tag ids, ``None`` when a label is unknown.
+
+    Unknown labels mean the query path cannot match anything in the
+    database, so callers treat ``None`` as an empty result.
+    """
+    ids = []
+    for label in labels:
+        tag_id = db.tags.id_of(label)
+        if tag_id is None:
+            return None
+        ids.append(tag_id)
+    return tuple(ids)

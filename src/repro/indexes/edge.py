@@ -1,0 +1,155 @@
+"""The Edge table baseline with Lore-style value / link indices.
+
+The paper assumes XML data is stored in an Edge table [Florescu &
+Kossmann] and compares against the most useful indices reported there
+and in Lore's query optimizer work (Section 5.1.2):
+
+* **value index** — ``(tag, value)``  -> element/attribute id,
+* **tag index** — ``tag`` -> element/attribute id (used when a query
+  step carries no value condition),
+* **forward link index** — ``(parent id, tag)`` -> child id,
+* **backward (reverse) link index** — ``child id`` -> parent id.
+
+Evaluating a path of length *k* with these indices requires a join per
+step, which is exactly why the Edge strategy degrades with path length
+and predicate unselectivity in Figures 11-13.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..storage.btree import BPlusTree
+from ..storage.heap import HeapFile
+from ..storage.keys import encode_key
+from ..storage.stats import StatsCollector
+from ..xmltree.document import XmlDatabase
+from .base import FamilyDescriptor, PathIndex
+
+
+class EdgeIndex(PathIndex):
+    """Edge table + value, tag, forward-link and backward-link B+-trees."""
+
+    name = "edge"
+    descriptor = FamilyDescriptor(
+        schema_path_subset="paths of length 1",
+        id_list_sublist="only last ID",
+        indexed_columns=("HeadId", "SchemaPath", "LeafValue"),
+    )
+
+    def __init__(self, stats: Optional[StatsCollector] = None, order: int = 128) -> None:
+        super().__init__(stats)
+        self.order = order
+        self.heap: Optional[HeapFile] = None
+        self._value_index: Optional[BPlusTree] = None
+        self._tag_index: Optional[BPlusTree] = None
+        self._forward_index: Optional[BPlusTree] = None
+        self._backward_index: Optional[BPlusTree] = None
+        self.edge_count = 0
+
+    # ------------------------------------------------------------------
+    def _build(self, db: XmlDatabase) -> None:
+        self.heap = HeapFile(stats=self.stats, name="edge_table")
+        self._value_index = BPlusTree(self.order, self.stats, "edge_value")
+        self._tag_index = BPlusTree(self.order, self.stats, "edge_tag")
+        self._forward_index = BPlusTree(self.order, self.stats, "edge_forward")
+        self._backward_index = BPlusTree(self.order, self.stats, "edge_backward")
+        for node in db.iter_structural():
+            parent = node.parent
+            parent_id = parent.node_id if parent is not None else None
+            parent_label = parent.label if parent is not None else None
+            value = node.first_value()
+            self.heap.append((parent_id, node.node_id, node.label, value))
+            self.edge_count += 1
+            self._tag_index.insert(encode_key((node.label,)), node.node_id)
+            if value is not None:
+                self._value_index.insert(encode_key((node.label, value)), node.node_id)
+            if parent_id is not None:
+                self._forward_index.insert(
+                    encode_key((parent_id, node.label)), node.node_id
+                )
+                self._backward_index.insert(
+                    encode_key((node.node_id,)), (parent_id, parent_label)
+                )
+
+    # ------------------------------------------------------------------
+    # Lookup primitives used by the Edge / DG+Edge / IF+Edge strategies
+    # ------------------------------------------------------------------
+    def nodes_with_value(self, label: str, value: str) -> list[int]:
+        """Ids of nodes labelled ``label`` whose direct value equals ``value``."""
+        self._require_built()
+        assert self._value_index is not None
+        return self._value_index.search(encode_key((label, value)))
+
+    def nodes_with_label(self, label: str) -> list[int]:
+        """Ids of nodes labelled ``label`` (the tag index)."""
+        self._require_built()
+        assert self._tag_index is not None
+        return self._tag_index.search(encode_key((label,)))
+
+    def parent_of(self, node_id: int) -> Optional[tuple[int, str]]:
+        """``(parent id, parent label)`` via the backward link index."""
+        self._require_built()
+        assert self._backward_index is not None
+        results = self._backward_index.search(encode_key((node_id,)))
+        return results[0] if results else None
+
+    def children_of(self, node_id: int, label: str) -> list[int]:
+        """Child ids with a given tag via the forward link index."""
+        self._require_built()
+        assert self._forward_index is not None
+        return self._forward_index.search(encode_key((node_id, label)))
+
+    def ancestors_of(self, node_id: int) -> Iterator[tuple[int, str]]:
+        """Walk the backward links to the root, yielding ``(id, label)``.
+
+        Each step is an index probe; recursive (``//``) steps through
+        the Edge table cost one probe per ancestor level, which is what
+        makes the Edge approach unattractive for recursion.
+        """
+        current = node_id
+        while True:
+            parent = self.parent_of(current)
+            if parent is None:
+                return
+            yield parent
+            current = parent[0]
+
+    def value_of(self, node_id: int) -> Optional[str]:
+        """Direct value of a node, fetched from the Edge heap row."""
+        db = self._require_built()
+        return db.node(node_id).first_value()
+
+    # ------------------------------------------------------------------
+    def estimated_size_bytes(self) -> int:
+        self._require_built()
+        assert (
+            self.heap is not None
+            and self._value_index is not None
+            and self._tag_index is not None
+            and self._forward_index is not None
+            and self._backward_index is not None
+        )
+
+        def key_size(key) -> int:
+            total = 0
+            for component in key:
+                if component[0] == 0:
+                    total += 1
+                elif component[0] == 1:
+                    total += 4
+                else:
+                    total += len(component[1]) + 1
+            return total
+
+        total = self.heap.estimated_size_bytes()
+        for tree in (
+            self._value_index,
+            self._tag_index,
+            self._forward_index,
+            self._backward_index,
+        ):
+            total += tree.estimated_size_bytes(
+                key_size_of=key_size, prefix_compression=True
+            )
+        return total

@@ -1,0 +1,94 @@
+"""IdLists and their differential (delta) encoding.
+
+The IdList column of the 4-ary relation holds the node identifiers
+along a data path (Section 3.1).  Section 4.1 observes that, because
+ids along a path are strongly correlated (they are assigned in
+document order), storing each id as an offset from the previous one —
+the differential encoding used by compressed IR inverted indices —
+losslessly shrinks the column by roughly 30 %.
+
+The encoding here is byte-oriented: each delta is stored as a
+variable-length integer (7 bits per byte), so the byte counts reported
+by :func:`encoded_size_bytes` drive the Figure 9 / Section 5.2.5 space
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+IdList = tuple[int, ...]
+
+
+def varint_size(value: int) -> int:
+    """Bytes needed to store ``value`` as an unsigned 7-bit-per-byte varint."""
+    if value < 0:
+        # Deltas can be negative when a path jumps across subtrees; store
+        # them zig-zag encoded (sign folded into the low bit).
+        value = (-value << 1) | 1
+    else:
+        value <<= 1
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+def encode_deltas(ids: Sequence[int]) -> list[int]:
+    """The differential encoding of an id list: first id, then deltas."""
+    ids = list(ids)
+    if not ids:
+        return []
+    deltas = [ids[0]]
+    for previous, current in zip(ids, ids[1:]):
+        deltas.append(current - previous)
+    return deltas
+
+
+def decode_deltas(deltas: Sequence[int]) -> IdList:
+    """Invert :func:`encode_deltas`."""
+    if not deltas:
+        return ()
+    ids = [deltas[0]]
+    for delta in deltas[1:]:
+        ids.append(ids[-1] + delta)
+    return tuple(ids)
+
+
+def raw_size_bytes(ids: Sequence[int], bytes_per_id: int = 4) -> int:
+    """Size of an uncompressed id list (fixed-width ids)."""
+    return bytes_per_id * len(ids) + 1
+
+
+def encoded_size_bytes(ids: Sequence[int]) -> int:
+    """Size of the differentially encoded id list (varint deltas)."""
+    return sum(varint_size(d) for d in encode_deltas(ids)) + 1
+
+
+def compression_ratio(id_lists: Iterable[Sequence[int]]) -> float:
+    """Overall compressed/raw size ratio across many id lists.
+
+    The paper reports that lossless compression reduced index size by
+    about 30 %, i.e. a ratio around 0.7 for the IdList column.
+    """
+    raw = 0
+    compressed = 0
+    for ids in id_lists:
+        raw += raw_size_bytes(ids)
+        compressed += encoded_size_bytes(ids)
+    if raw == 0:
+        return 1.0
+    return compressed / raw
+
+
+def prune_idlist(ids: Sequence[int], keep_positions: Sequence[int]) -> tuple:
+    """Lossy workload-based pruning (Section 4.1).
+
+    Positions not in ``keep_positions`` are replaced by ``None`` — the
+    paper's "a node that is never returned ... and is not a branching
+    point ... can be eliminated from the IdList (i.e., replaced by a
+    NULL)".
+    """
+    keep = set(keep_positions)
+    return tuple(node_id if i in keep else None for i, node_id in enumerate(ids))

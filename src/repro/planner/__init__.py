@@ -1,0 +1,52 @@
+"""Twig evaluation plans: analysis, joining, strategies, plan choice, engine."""
+
+from .analysis import AnalyzedPath, TwigAnalysis, split_segments, subpath_below
+from .evaluator import (
+    DEFAULT_STRATEGIES,
+    QueryResult,
+    STRATEGY_TYPES,
+    TwigQueryEngine,
+)
+from .joiner import BranchRelation, build_join_plan, join_branches
+from .optimizer import (
+    DataPathsPlanChoice,
+    PROBE_COST,
+    choose_datapaths_plan,
+    estimate_branch_cardinalities,
+)
+from .strategies import (
+    AccessSupportRelationsStrategy,
+    DataGuidePlusEdgeStrategy,
+    DataPathsStrategy,
+    EdgeStrategy,
+    EvaluationStrategy,
+    IndexFabricPlusEdgeStrategy,
+    JoinIndicesStrategy,
+    RootPathsStrategy,
+)
+
+__all__ = [
+    "AccessSupportRelationsStrategy",
+    "AnalyzedPath",
+    "BranchRelation",
+    "DEFAULT_STRATEGIES",
+    "DataGuidePlusEdgeStrategy",
+    "DataPathsPlanChoice",
+    "DataPathsStrategy",
+    "EdgeStrategy",
+    "EvaluationStrategy",
+    "IndexFabricPlusEdgeStrategy",
+    "JoinIndicesStrategy",
+    "PROBE_COST",
+    "QueryResult",
+    "RootPathsStrategy",
+    "STRATEGY_TYPES",
+    "TwigAnalysis",
+    "TwigQueryEngine",
+    "build_join_plan",
+    "choose_datapaths_plan",
+    "estimate_branch_cardinalities",
+    "join_branches",
+    "split_segments",
+    "subpath_below",
+]

@@ -1,0 +1,186 @@
+"""The twig query engine: strategy registry, execution and measurement.
+
+:class:`TwigQueryEngine` owns a database, the indices built over it and
+a stats collector.  It maps strategy names to
+:class:`~repro.planner.strategies.EvaluationStrategy` instances,
+building missing indices on demand, and returns
+:class:`QueryResult` objects that carry both the answer and the logical
+cost of producing it — the measurements every benchmark reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..errors import PlanningError
+from ..indexes import INDEX_TYPES, PathIndex
+from ..query.match import NaiveMatcher
+from ..query.parser import parse_xpath
+from ..query.twig import TwigPattern
+from ..storage.stats import StatsCollector
+from ..xmltree.document import XmlDatabase
+from .strategies import (
+    AccessSupportRelationsStrategy,
+    DataGuidePlusEdgeStrategy,
+    DataPathsStrategy,
+    EdgeStrategy,
+    EvaluationStrategy,
+    IndexFabricPlusEdgeStrategy,
+    JoinIndicesStrategy,
+    RootPathsStrategy,
+)
+
+#: Strategy name -> (strategy class, index names it requires).
+STRATEGY_TYPES: dict[str, type[EvaluationStrategy]] = {
+    RootPathsStrategy.name: RootPathsStrategy,
+    DataPathsStrategy.name: DataPathsStrategy,
+    EdgeStrategy.name: EdgeStrategy,
+    DataGuidePlusEdgeStrategy.name: DataGuidePlusEdgeStrategy,
+    IndexFabricPlusEdgeStrategy.name: IndexFabricPlusEdgeStrategy,
+    AccessSupportRelationsStrategy.name: AccessSupportRelationsStrategy,
+    JoinIndicesStrategy.name: JoinIndicesStrategy,
+}
+
+#: Strategy names in the order the paper's figures list them.
+DEFAULT_STRATEGIES = (
+    "rootpaths",
+    "datapaths",
+    "edge",
+    "dataguide_edge",
+    "index_fabric_edge",
+    "asr",
+    "join_index",
+)
+
+
+@dataclass
+class QueryResult:
+    """The answer to one twig query plus its execution measurements."""
+
+    strategy: str
+    xpath: str
+    ids: list[int]
+    elapsed_seconds: float
+    cost: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of matching output nodes."""
+        return len(self.ids)
+
+    @property
+    def logical_io(self) -> int:
+        """B+-tree node reads plus heap page reads charged by the query."""
+        return self.cost.get("btree_node_reads", 0) + self.cost.get("heap_page_reads", 0)
+
+    @property
+    def total_cost(self) -> int:
+        """Weighted logical cost (see StatsCollector.total_cost)."""
+        return (
+            10 * self.logical_io
+            + self.cost.get("btree_entries_scanned", 0)
+            + self.cost.get("join_comparisons", 0)
+            + self.cost.get("join_probes", 0)
+        )
+
+
+class TwigQueryEngine:
+    """Build indices over an :class:`XmlDatabase` and evaluate twig queries."""
+
+    def __init__(
+        self,
+        db: XmlDatabase,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        self.db = db
+        self.stats = stats if stats is not None else StatsCollector()
+        self.indexes: dict[str, PathIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def build_index(self, name: str, **options) -> PathIndex:
+        """Build (or rebuild) one index by its short name."""
+        try:
+            index_class = INDEX_TYPES[name]
+        except KeyError:
+            raise PlanningError(
+                f"unknown index {name!r}; known: {sorted(INDEX_TYPES)}"
+            ) from None
+        index = index_class(stats=self.stats, **options)
+        index.build(self.db)
+        self.indexes[name] = index
+        return index
+
+    def build_indexes(self, names: Sequence[str]) -> None:
+        """Build several indices."""
+        for name in names:
+            self.build_index(name)
+
+    def ensure_indexes_for(self, strategy_name: str) -> None:
+        """Build whatever indices the strategy needs and are missing."""
+        strategy_class = self._strategy_class(strategy_name)
+        for index_name in strategy_class.required_indexes:
+            if index_name not in self.indexes:
+                self.build_index(index_name)
+
+    def index_sizes_mb(self) -> dict[str, float]:
+        """Sizes of every built index in MB (the Figure 9 row)."""
+        return {name: index.estimated_size_mb() for name, index in self.indexes.items()}
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def strategy(self, name: str, **options) -> EvaluationStrategy:
+        """Instantiate a strategy, building its required indices if needed."""
+        self.ensure_indexes_for(name)
+        strategy_class = self._strategy_class(name)
+        return strategy_class(self.db, self.indexes, stats=self.stats, **options)
+
+    def execute(
+        self,
+        query: Union[str, TwigPattern],
+        strategy: str = "rootpaths",
+        **strategy_options,
+    ) -> QueryResult:
+        """Evaluate a twig query with the given strategy.
+
+        ``query`` is either an XPath-subset string or an already parsed
+        :class:`TwigPattern`.
+        """
+        twig = parse_xpath(query) if isinstance(query, str) else query
+        xpath = query if isinstance(query, str) else twig.to_xpath()
+        runner = self.strategy(strategy, **strategy_options)
+        before = self.stats.snapshot()
+        started = time.perf_counter()
+        ids = runner.evaluate(twig)
+        elapsed = time.perf_counter() - started
+        cost = self.stats.diff(before)
+        return QueryResult(
+            strategy=strategy, xpath=xpath, ids=ids, elapsed_seconds=elapsed, cost=cost
+        )
+
+    def execute_all(
+        self,
+        query: Union[str, TwigPattern],
+        strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    ) -> dict[str, QueryResult]:
+        """Run one query under several strategies (a figure's data points)."""
+        return {name: self.execute(query, strategy=name) for name in strategies}
+
+    def oracle_ids(self, query: Union[str, TwigPattern]) -> list[int]:
+        """Ground-truth answer from the naive matcher (no index involved)."""
+        twig = parse_xpath(query) if isinstance(query, str) else query
+        return NaiveMatcher(self.db).match_ids(twig)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _strategy_class(name: str) -> type[EvaluationStrategy]:
+        try:
+            return STRATEGY_TYPES[name]
+        except KeyError:
+            raise PlanningError(
+                f"unknown strategy {name!r}; known: {sorted(STRATEGY_TYPES)}"
+            ) from None

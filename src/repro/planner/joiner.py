@@ -1,0 +1,133 @@
+"""Generic branch-relation joiner.
+
+Every "merge style" strategy (ROOTPATHS, DATAPATHS without INL, Edge,
+DataGuide+Edge, IndexFabric+Edge, ASR, Join Indices) reduces a twig to
+one relation per root-to-leaf path, whose columns are the ids of that
+path's *needed* twig nodes (join points and the output node — see
+:mod:`repro.planner.analysis`).  This module joins those relations with
+the relational operators of :mod:`repro.relational` — hash joins on the
+shared branch-point columns followed by a projection onto the output
+node and duplicate elimination — exactly the "extract the ids of the
+branch point from the IdLists, and do a join on the branch points"
+plan of Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import PlanningError
+from ..query.ast import TwigNode
+from ..relational.joins import HashJoin
+from ..relational.operators import Distinct, Filter, PlanOperator, Project, RowSource
+from ..storage.stats import StatsCollector
+from .analysis import TwigAnalysis
+
+
+class BranchRelation:
+    """Rows of twig-node ids produced for one root-to-leaf path."""
+
+    def __init__(
+        self,
+        analysis: TwigAnalysis,
+        nodes: Sequence[TwigNode],
+        rows: Sequence[tuple],
+        label: str = "branch",
+    ) -> None:
+        self.analysis = analysis
+        self.nodes = tuple(nodes)
+        self.columns = tuple(analysis.column_name(node) for node in nodes)
+        self.rows = list(rows)
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_operator(self, stats: Optional[StatsCollector] = None) -> RowSource:
+        """Wrap the rows as a relational plan source."""
+        return RowSource(self.columns, self.rows, stats=stats, label=self.label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BranchRelation({self.label}, columns={self.columns}, rows={len(self.rows)})"
+
+
+def join_branches(
+    analysis: TwigAnalysis,
+    relations: Sequence[BranchRelation],
+    stats: Optional[StatsCollector] = None,
+) -> list[int]:
+    """Join branch relations and return sorted distinct output-node ids."""
+    if not relations:
+        return []
+    output_column = analysis.column_name(analysis.output)
+    plan = build_join_plan(analysis, relations, stats=stats)
+    positions = plan.schema.position(output_column)
+    ids = sorted({row[positions] for row in plan})
+    return ids
+
+
+def build_join_plan(
+    analysis: TwigAnalysis,
+    relations: Sequence[BranchRelation],
+    stats: Optional[StatsCollector] = None,
+) -> PlanOperator:
+    """Compose the hash-join plan over the branch relations."""
+    output_column = analysis.column_name(analysis.output)
+    ordered = _order_relations(relations, output_column)
+    plan: PlanOperator = ordered[0].to_operator(stats)
+    joined_columns = set(plan.schema.columns)
+    pending = list(ordered[1:])
+    while pending:
+        index = _next_joinable(pending, joined_columns)
+        relation = pending.pop(index)
+        right = relation.to_operator(stats)
+        shared = [c for c in relation.columns if c in joined_columns]
+        if not shared:
+            raise PlanningError(
+                f"branch relation {relation.label!r} shares no join column with the plan"
+            )
+        join_column = shared[-1]
+        joined: PlanOperator = HashJoin(plan, right, join_column, join_column)
+        # The right side's copy of the join columns gets a suffix in the
+        # concatenated schema; filter the remaining shared columns for
+        # equality and keep the left-side copies.
+        for column in shared[:-1]:
+            left_pos = joined.schema.position(column)
+            right_pos = joined.schema.position(column + "_r")
+            joined = Filter(
+                joined,
+                lambda row, lp=left_pos, rp=right_pos: row[lp] == row[rp],
+                description=f"{column} consistent",
+            )
+        # Keep only the original column names; the right side's renamed
+        # duplicates (suffix added by RowSchema.concat) are dropped.
+        original = set(plan.schema.columns) | set(relation.columns)
+        keep = [c for c in joined.schema.columns if c in original]
+        plan = Project(joined, keep)
+        joined_columns.update(relation.columns)
+    if output_column not in plan.schema:
+        raise PlanningError("no branch relation produced the output column")
+    return Distinct(Project(plan, [output_column]))
+
+
+def _order_relations(
+    relations: Sequence[BranchRelation], output_column: str
+) -> list[BranchRelation]:
+    """Put a relation containing the output column first, then the rest."""
+    with_output = [r for r in relations if output_column in r.columns]
+    without = [r for r in relations if output_column not in r.columns]
+    if not with_output:
+        raise PlanningError("no branch relation contains the output node")
+    # Among the output-bearing relations, start with the widest one so
+    # join columns become available early.
+    with_output.sort(key=lambda r: len(r.columns), reverse=True)
+    return with_output + without
+
+
+def _next_joinable(pending: list[BranchRelation], joined_columns: set[str]) -> int:
+    for index, relation in enumerate(pending):
+        if any(column in joined_columns for column in relation.columns):
+            return index
+    # Fall back to the first relation; build_join_plan will raise a
+    # precise error if it truly cannot be joined.
+    return 0

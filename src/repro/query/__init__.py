@@ -1,0 +1,19 @@
+"""Query model: twig patterns, the XPath-subset parser, and the oracle matcher.
+
+Implements Section 2 of the paper: query twig patterns, subpaths and
+PCsubpaths, and the FreeIndex / BoundIndex problems' query-side inputs.
+"""
+
+from .ast import Axis, TwigNode
+from .match import NaiveMatcher
+from .parser import parse_xpath
+from .twig import PathQuery, TwigPattern
+
+__all__ = [
+    "Axis",
+    "NaiveMatcher",
+    "PathQuery",
+    "TwigPattern",
+    "TwigNode",
+    "parse_xpath",
+]

@@ -1,0 +1,107 @@
+"""Twig-pattern abstract syntax.
+
+Queries are node-labeled twig patterns (Section 2.1): nodes carry
+element tags or attribute names plus optional equality conditions on
+leaf values, and edges are either parent-child (``/``) or
+ancestor-descendant (``//``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+
+class Axis(enum.Enum):
+    """Edge type between a twig node and its parent."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+
+class TwigNode:
+    """One node of a query twig pattern."""
+
+    __slots__ = ("label", "axis", "value", "children", "is_attribute", "parent")
+
+    def __init__(
+        self,
+        label: str,
+        axis: Axis = Axis.CHILD,
+        value: Optional[str] = None,
+        is_attribute: bool = False,
+    ) -> None:
+        self.label = label
+        self.axis = axis
+        self.value = value
+        self.is_attribute = is_attribute
+        self.children: list[TwigNode] = []
+        self.parent: Optional[TwigNode] = None
+
+    def add_child(self, child: "TwigNode") -> "TwigNode":
+        """Attach ``child`` below this node and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no twig children."""
+        return not self.children
+
+    @property
+    def is_branching(self) -> bool:
+        """True when more than one twig edge leaves this node."""
+        return len(self.children) > 1
+
+    def iter_subtree(self) -> Iterator["TwigNode"]:
+        """This node and every descendant, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def path_from_root(self) -> list["TwigNode"]:
+        """Twig nodes from the pattern root down to this node."""
+        nodes = [self]
+        node = self.parent
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        return nodes
+
+    # ------------------------------------------------------------------
+    def to_xpath(self) -> str:
+        """Render this node (and subtree) back into XPath-like syntax."""
+        label = f"@{self.label}" if self.is_attribute else self.label
+        parts = [self.axis.value, label]
+        structural_children = [c for c in self.children]
+        if self.value is not None and not structural_children:
+            pass  # value rendered by the parent predicate renderer
+        predicates = []
+        if self.value is not None:
+            predicates.append(f"[. = '{self.value}']")
+        for child in structural_children:
+            predicates.append(f"[{child._to_predicate()}]")
+        return "".join(parts) + "".join(predicates)
+
+    def _to_predicate(self) -> str:
+        label = f"@{self.label}" if self.is_attribute else self.label
+        text = label if self.axis is Axis.CHILD else "/" + self.axis.value.rstrip("/") + label
+        if self.axis is Axis.DESCENDANT:
+            text = ".//" + label
+        pieces = [text]
+        for child in self.children:
+            pieces.append("/" + child._to_predicate() if child.axis is Axis.CHILD else "//" + child._to_predicate())
+        rendered = "".join(pieces)
+        if self.value is not None:
+            rendered += f" = '{self.value}'"
+        return rendered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        marker = "@" if self.is_attribute else ""
+        value = f"={self.value!r}" if self.value is not None else ""
+        return f"TwigNode({self.axis.value}{marker}{self.label}{value}, children={len(self.children)})"

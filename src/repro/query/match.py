@@ -1,0 +1,134 @@
+"""Naive in-memory twig matching — the correctness oracle.
+
+Section 2.1 defines a match of a query twig pattern as a mapping from
+query nodes to database nodes that preserves labels/values and the
+parent-child / ancestor-descendant relationships.  This module
+implements that definition directly on the in-memory tree, without any
+index, and is used throughout the test suite and benchmarks to verify
+that every index-based strategy returns exactly the same answers.
+
+The matcher is deliberately simple (memoised bottom-up satisfaction
+check followed by a trunk walk) and makes no performance claims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..xmltree.document import XmlDatabase
+from ..xmltree.nodes import Node
+from .ast import Axis, TwigNode
+from .twig import TwigPattern
+
+
+class NaiveMatcher:
+    """Evaluate twig patterns by direct tree traversal."""
+
+    def __init__(self, db: XmlDatabase) -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------
+    def match_ids(self, twig: TwigPattern) -> list[int]:
+        """Sorted ids of database nodes matching the twig's output node."""
+        return sorted(node.node_id for node in self.match_nodes(twig))
+
+    def match_nodes(self, twig: TwigPattern) -> list[Node]:
+        """Database nodes matching the twig's output node."""
+        self._memo: dict[tuple[int, int], bool] = {}
+        roots = self._candidate_roots(twig)
+        bindings = {node for node in roots if self._satisfies(twig.root, node)}
+        trunk = twig.output_path()
+        current = bindings
+        for twig_node in trunk[1:]:
+            next_bindings: set[Node] = set()
+            for data_node in current:
+                for candidate in self._related(data_node, twig_node.axis):
+                    if self._satisfies(twig_node, candidate):
+                        next_bindings.add(candidate)
+            current = next_bindings
+        return sorted(current, key=lambda n: n.node_id)
+
+    def count_matches(self, twig: TwigPattern) -> int:
+        """Number of output-node matches (the paper's per-query result size)."""
+        return len(self.match_nodes(twig))
+
+    def branch_cardinalities(self, twig: TwigPattern) -> list[int]:
+        """Result sizes per root-to-leaf branch (Figure 7/8's per-branch column).
+
+        Each branch is evaluated as its own single-path twig whose
+        output node is the deepest *element* step of that branch (value
+        conditions stay attached), mirroring how the paper reports
+        per-branch result sizes.
+        """
+        sizes = []
+        for path in twig.root_to_leaf_paths():
+            branch_twig = _branch_as_twig(twig, path)
+            sizes.append(len(NaiveMatcher(self.db).match_nodes(branch_twig)))
+        return sizes
+
+    # ------------------------------------------------------------------
+    def _candidate_roots(self, twig: TwigPattern) -> Iterable[Node]:
+        if twig.is_absolute:
+            return [doc.root for doc in self.db.documents if doc.root.label == twig.root.label]
+        return [n for n in self.db.iter_structural() if n.label == twig.root.label]
+
+    def _related(self, node: Node, axis: Axis) -> Iterable[Node]:
+        if axis is Axis.CHILD:
+            return node.structural_children()
+        descendants: list[Node] = []
+        stack = list(node.structural_children())
+        while stack:
+            current = stack.pop()
+            descendants.append(current)
+            stack.extend(current.structural_children())
+        return descendants
+
+    def _satisfies(self, twig_node: TwigNode, data_node: Node) -> bool:
+        key = (id(twig_node), data_node.node_id)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._satisfies_uncached(twig_node, data_node)
+        self._memo[key] = result
+        return result
+
+    def _satisfies_uncached(self, twig_node: TwigNode, data_node: Node) -> bool:
+        if data_node.label != twig_node.label:
+            return False
+        if twig_node.value is not None:
+            values = {c.label for c in data_node.children if c.is_value}
+            if twig_node.value not in values:
+                return False
+        for child in twig_node.children:
+            if not any(
+                self._satisfies(child, candidate)
+                for candidate in self._related(data_node, child.axis)
+            ):
+                return False
+        return True
+
+
+def _branch_as_twig(twig: TwigPattern, path: list[TwigNode]) -> TwigPattern:
+    """Copy a single root-to-leaf path of ``twig`` as its own pattern.
+
+    The copy's output node is the deepest element node on the branch
+    (attributes and pure value tests are conditions, not results).
+    """
+    copies: list[TwigNode] = []
+    for original in path:
+        copy = TwigNode(
+            original.label,
+            axis=original.axis,
+            value=original.value,
+            is_attribute=original.is_attribute,
+        )
+        if copies:
+            copies[-1].add_child(copy)
+        copies.append(copy)
+    output = copies[-1]
+    for copy in reversed(copies):
+        if not copy.is_attribute:
+            output = copy
+            break
+    pattern = TwigPattern(copies[0], output=output)
+    return pattern

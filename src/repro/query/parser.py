@@ -1,0 +1,207 @@
+"""Parser for the XPath fragment used by the paper's workload.
+
+The supported grammar covers every query in Figures 7 and 8:
+
+.. code-block:: text
+
+    query      := ('/' | '//') step ( ('/' | '//') step )*
+    step       := ('@')? NAME predicate*
+    predicate  := '[' condition ( 'and' condition )* ']'
+    condition  := '.' '=' literal
+                | relpath ( '=' literal )?
+    relpath    := ('@')? NAME ( ('/' | '//') ('@')? NAME )*
+    literal    := quoted string | number token
+
+Only string-equality value conditions are supported, matching the
+paper's assumption that "all values are strings and only equality
+matches on the values are allowed".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import QueryParseError
+from .ast import Axis, TwigNode
+from .twig import TwigPattern
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<eq>=)
+  | (?P<at>@)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][\w.\-]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+#: Curly quotes that appear in the paper's query listings.
+_QUOTE_NORMALISATION = str.maketrans({"‘": "'", "’": "'", "“": '"', "”": '"'})
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryParseError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        position = match.end()
+        if kind == "space":
+            continue
+        if kind == "string":
+            value = value[1:-1]
+        tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], text: str) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.text = text
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> Optional[tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError(f"unexpected end of query: {self.text!r}")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise QueryParseError(
+                f"expected {kind} but found {token[1]!r} in {self.text!r}"
+            )
+        return token[1]
+
+    def accept(self, kind: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.position += 1
+            return token[1]
+        return None
+
+    # -- grammar -------------------------------------------------------
+    def parse_query(self) -> TwigPattern:
+        axis = self._parse_axis(required=True)
+        root = self._parse_step(axis)
+        current = root
+        while True:
+            axis = self._parse_axis(required=False)
+            if axis is None:
+                break
+            step = self._parse_step(axis)
+            current.add_child(step)
+            current = step
+        if self.peek() is not None:
+            raise QueryParseError(f"trailing tokens in query {self.text!r}")
+        return TwigPattern(root, output=current)
+
+    def _parse_axis(self, required: bool) -> Optional[Axis]:
+        if self.accept("dslash") is not None:
+            return Axis.DESCENDANT
+        if self.accept("slash") is not None:
+            return Axis.CHILD
+        if required:
+            raise QueryParseError(f"query must start with '/' or '//': {self.text!r}")
+        return None
+
+    def _parse_step(self, axis: Axis) -> TwigNode:
+        is_attribute = self.accept("at") is not None
+        name = self._parse_name()
+        node = TwigNode(name, axis=axis, is_attribute=is_attribute)
+        while self.accept("lbracket") is not None:
+            self._parse_predicate(node)
+            self.expect("rbracket")
+        return node
+
+    def _parse_name(self) -> str:
+        token = self.next()
+        if token[0] not in ("name", "number"):
+            raise QueryParseError(f"expected a name but found {token[1]!r} in {self.text!r}")
+        return token[1]
+
+    def _parse_predicate(self, owner: TwigNode) -> None:
+        while True:
+            self._parse_condition(owner)
+            token = self.peek()
+            if token is not None and token[0] == "name" and token[1] == "and":
+                self.next()
+                continue
+            break
+
+    def _parse_condition(self, owner: TwigNode) -> None:
+        if self.accept("dot") is not None:
+            self.expect("eq")
+            owner.value = self._parse_literal()
+            return
+        # A relative path, optionally compared to a literal.
+        node = owner
+        first = True
+        while True:
+            if first:
+                axis = Axis.CHILD
+                if self.accept("dslash") is not None:
+                    axis = Axis.DESCENDANT
+                elif self.accept("slash") is not None:
+                    axis = Axis.CHILD
+            else:
+                if self.accept("dslash") is not None:
+                    axis = Axis.DESCENDANT
+                elif self.accept("slash") is not None:
+                    axis = Axis.CHILD
+                else:
+                    break
+            is_attribute = self.accept("at") is not None
+            if not is_attribute:
+                token = self.peek()
+                if token is None or token[0] not in ("name", "number"):
+                    if first:
+                        raise QueryParseError(
+                            f"empty predicate path in {self.text!r}"
+                        )
+                    break
+            name = self._parse_name()
+            node = node.add_child(TwigNode(name, axis=axis, is_attribute=is_attribute))
+            first = False
+        if self.accept("eq") is not None:
+            node.value = self._parse_literal()
+
+    def _parse_literal(self) -> str:
+        token = self.next()
+        if token[0] in ("string", "name", "number"):
+            return token[1]
+        raise QueryParseError(f"expected a literal but found {token[1]!r} in {self.text!r}")
+
+
+def parse_xpath(text: str) -> TwigPattern:
+    """Parse an XPath-subset string into a :class:`TwigPattern`.
+
+    Raises
+    ------
+    QueryParseError
+        When the text is not in the supported fragment.
+    """
+    normalised = text.translate(_QUOTE_NORMALISATION).strip()
+    if not normalised:
+        raise QueryParseError("empty query string")
+    tokens = _tokenize(normalised)
+    return _Parser(tokens, text).parse_query()

@@ -1,0 +1,50 @@
+"""Relational query-processor substrate: schemas, operators and joins.
+
+The paper's central systems requirement is that its indices be usable
+by an ordinary relational query processor.  This package supplies that
+processor: iterator-style plan operators plus the three join strategies
+(merge, hash, index-nested-loop) that the twig evaluation plans in
+:mod:`repro.planner` are built from.
+"""
+
+from .joins import (
+    HashJoin,
+    IndexNestedLoopJoin,
+    MergeJoin,
+    SemiJoin,
+    intersect_id_lists,
+)
+from .operators import (
+    Distinct,
+    Filter,
+    HeapScan,
+    Limit,
+    Materialize,
+    PlanOperator,
+    Project,
+    Row,
+    RowSource,
+    Sort,
+    column_equals,
+)
+from .schema import RowSchema
+
+__all__ = [
+    "Distinct",
+    "Filter",
+    "HashJoin",
+    "HeapScan",
+    "IndexNestedLoopJoin",
+    "Limit",
+    "Materialize",
+    "MergeJoin",
+    "PlanOperator",
+    "Project",
+    "Row",
+    "RowSchema",
+    "RowSource",
+    "SemiJoin",
+    "Sort",
+    "column_equals",
+    "intersect_id_lists",
+]

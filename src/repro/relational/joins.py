@@ -1,0 +1,210 @@
+"""Join operators: merge join, hash join, index-nested-loop join.
+
+These are the three relational join strategies the paper's evaluation
+relies on (Section 5): ROOTPATHS plans combine branch id lists with
+sort-merge or hash joins, while DATAPATHS additionally enables the
+index-nested-loop strategy by supporting BoundIndex lookups.
+
+All joins are equi-joins on named columns and report probe / comparison
+counts into the shared stats collector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from .operators import PlanOperator, Row
+from .schema import RowSchema
+
+
+class MergeJoin(PlanOperator):
+    """Sort-merge equi-join of two inputs on one column each.
+
+    Inputs are sorted internally (the paper's plans always feed id lists
+    extracted from index lookups, which are unsorted), so this operator
+    charges the sort comparisons as join comparisons.
+    """
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        right: PlanOperator,
+        left_column: str,
+        right_column: str,
+    ) -> None:
+        super().__init__(left.schema.concat(right.schema), left.stats)
+        self.left = left
+        self.right = right
+        self.left_position = left.schema.position(left_column)
+        self.right_position = right.schema.position(right_column)
+
+    def __iter__(self) -> Iterator[Row]:
+        left_rows = sorted(self.left, key=lambda row: _sort_key(row[self.left_position]))
+        right_rows = sorted(self.right, key=lambda row: _sort_key(row[self.right_position]))
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            self.stats.join_comparisons += 1
+            lkey = _sort_key(left_rows[i][self.left_position])
+            rkey = _sort_key(right_rows[j][self.right_position])
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                # Emit the cross product of the two equal runs.
+                i_end = i
+                while i_end < len(left_rows) and _sort_key(
+                    left_rows[i_end][self.left_position]
+                ) == lkey:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_rows) and _sort_key(
+                    right_rows[j_end][self.right_position]
+                ) == rkey:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        self.stats.tuples_produced += 1
+                        yield left_rows[li] + right_rows[rj]
+                i, j = i_end, j_end
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "MergeJoin"
+
+
+class HashJoin(PlanOperator):
+    """Classic build/probe hash equi-join (build side = right input)."""
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        right: PlanOperator,
+        left_column: str,
+        right_column: str,
+    ) -> None:
+        super().__init__(left.schema.concat(right.schema), left.stats)
+        self.left = left
+        self.right = right
+        self.left_position = left.schema.position(left_column)
+        self.right_position = right.schema.position(right_column)
+
+    def __iter__(self) -> Iterator[Row]:
+        table: dict[Any, list[Row]] = {}
+        for row in self.right:
+            table.setdefault(row[self.right_position], []).append(row)
+        for row in self.left:
+            self.stats.join_probes += 1
+            for match in table.get(row[self.left_position], ()):
+                self.stats.tuples_produced += 1
+                yield row + match
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "HashJoin"
+
+
+class IndexNestedLoopJoin(PlanOperator):
+    """Index-nested-loop join: probe an index for every outer row.
+
+    ``probe`` receives the outer row's join-key value and returns an
+    iterable of inner rows (the BoundIndex lookup of Section 2.3).  The
+    inner schema must be supplied because the probe function is opaque.
+    """
+
+    def __init__(
+        self,
+        outer: PlanOperator,
+        probe: Callable[[Any], Sequence[Row]],
+        outer_column: str,
+        inner_schema: RowSchema | Sequence[str],
+        label: str = "probe",
+    ) -> None:
+        if not isinstance(inner_schema, RowSchema):
+            inner_schema = RowSchema(inner_schema)
+        super().__init__(outer.schema.concat(inner_schema), outer.stats)
+        self.outer = outer
+        self.probe = probe
+        self.outer_position = outer.schema.position(outer_column)
+        self.inner_schema = inner_schema
+        self.label = label
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.outer:
+            self.stats.join_probes += 1
+            for match in self.probe(row[self.outer_position]):
+                self.stats.tuples_produced += 1
+                yield row + tuple(match)
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.outer,)
+
+    def describe(self) -> str:
+        return f"IndexNestedLoopJoin[{self.label}]"
+
+
+class SemiJoin(PlanOperator):
+    """Emit left rows whose join key appears in the right input.
+
+    Used for existence-style twig branches (a branch constrains the
+    result but contributes no output columns).
+    """
+
+    def __init__(
+        self,
+        left: PlanOperator,
+        right: PlanOperator,
+        left_column: str,
+        right_column: str,
+        anti: bool = False,
+    ) -> None:
+        super().__init__(left.schema, left.stats)
+        self.left = left
+        self.right = right
+        self.left_position = left.schema.position(left_column)
+        self.right_position = right.schema.position(right_column)
+        self.anti = anti
+
+    def __iter__(self) -> Iterator[Row]:
+        keys = {row[self.right_position] for row in self.right}
+        for row in self.left:
+            self.stats.join_probes += 1
+            present = row[self.left_position] in keys
+            if present != self.anti:
+                self.stats.tuples_produced += 1
+                yield row
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "AntiSemiJoin" if self.anti else "SemiJoin"
+
+
+def intersect_id_lists(id_lists: Sequence[Sequence[int]], stats=None) -> list[int]:
+    """Intersect several id lists (sorted output).
+
+    This is the final "intersection of these two sets of author-id
+    matches" step of the DATAPATHS example in Section 3.3.
+    """
+    if not id_lists:
+        return []
+    result = set(id_lists[0])
+    for ids in id_lists[1:]:
+        result &= set(ids)
+        if stats is not None:
+            stats.join_comparisons += len(ids)
+    return sorted(result)
+
+
+def _sort_key(value: Any):
+    """Total order over heterogeneous join keys (None < numbers < strings)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))

@@ -1,0 +1,242 @@
+"""Iterator-style relational plan operators.
+
+The paper stitches index lookup results together with the join
+strategies of an ordinary relational query processor (merge join, hash
+join, index-nested-loop join).  This module provides the non-join
+operators of that processor:
+
+* :class:`RowSource` — materialised rows (e.g. an index lookup result),
+* :class:`HeapScan` — full scan of a :class:`~repro.storage.heap.HeapFile`,
+* :class:`Filter`, :class:`Project`, :class:`Distinct`, :class:`Sort`,
+* :class:`Materialize` — pipeline breaker used by merge joins.
+
+Every operator exposes ``schema`` (a :class:`RowSchema`) and iterates
+tuples; plans are composed simply by nesting constructors.  Operators
+count produced tuples into the shared stats collector so experiments
+can report pipeline volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..storage.heap import HeapFile
+from ..storage.stats import GLOBAL_STATS, StatsCollector
+from .schema import RowSchema
+
+Row = tuple
+
+
+class PlanOperator:
+    """Base class for every plan operator."""
+
+    schema: RowSchema
+
+    def __init__(self, schema: RowSchema, stats: Optional[StatsCollector] = None) -> None:
+        self.schema = schema
+        self.stats = stats if stats is not None else GLOBAL_STATS
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[Row]:
+        """Fully evaluate the operator and return the rows."""
+        return list(self)
+
+    def explain(self, level: int = 0) -> str:
+        """A one-line-per-operator plan description (for logging/tests)."""
+        lines = [("  " * level) + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(level + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}{tuple(self.schema.columns)}"
+
+    def children(self) -> Sequence["PlanOperator"]:
+        return ()
+
+
+class RowSource(PlanOperator):
+    """A materialised list of rows with a schema (e.g. index lookup output)."""
+
+    def __init__(
+        self,
+        schema: RowSchema | Sequence[str],
+        rows: Iterable[Row],
+        stats: Optional[StatsCollector] = None,
+        label: str = "rows",
+    ) -> None:
+        if not isinstance(schema, RowSchema):
+            schema = RowSchema(schema)
+        super().__init__(schema, stats)
+        self._rows = list(rows)
+        self.label = label
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._rows:
+            self.stats.tuples_produced += 1
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def describe(self) -> str:
+        return f"RowSource[{self.label}] ({len(self._rows)} rows)"
+
+
+class HeapScan(PlanOperator):
+    """Sequential scan over a heap file."""
+
+    def __init__(
+        self,
+        heap: HeapFile,
+        schema: RowSchema | Sequence[str],
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        if not isinstance(schema, RowSchema):
+            schema = RowSchema(schema)
+        super().__init__(schema, stats)
+        self.heap = heap
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.heap.scan():
+            self.stats.tuples_produced += 1
+            yield row
+
+    def describe(self) -> str:
+        return f"HeapScan[{self.heap.name}]"
+
+
+class Filter(PlanOperator):
+    """Row filter by an arbitrary predicate over named columns."""
+
+    def __init__(
+        self,
+        child: PlanOperator,
+        predicate: Callable[[Row], bool],
+        description: str = "",
+    ) -> None:
+        super().__init__(child.schema, child.stats)
+        self.child = child
+        self.predicate = predicate
+        self.description = description
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            if self.predicate(row):
+                self.stats.tuples_produced += 1
+                yield row
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        suffix = f" {self.description}" if self.description else ""
+        return f"Filter{suffix}"
+
+
+def column_equals(schema: RowSchema, column: str, value: Any) -> Callable[[Row], bool]:
+    """Predicate factory: ``row[column] == value``."""
+    position = schema.position(column)
+    return lambda row: row[position] == value
+
+
+class Project(PlanOperator):
+    """Projection onto a subset (or reordering) of columns."""
+
+    def __init__(self, child: PlanOperator, columns: Sequence[str]) -> None:
+        super().__init__(child.schema.project(columns), child.stats)
+        self.child = child
+        self._positions = child.schema.positions(columns)
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            self.stats.tuples_produced += 1
+            yield tuple(row[i] for i in self._positions)
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.child,)
+
+
+class Distinct(PlanOperator):
+    """Duplicate elimination preserving first-seen order."""
+
+    def __init__(self, child: PlanOperator) -> None:
+        super().__init__(child.schema, child.stats)
+        self.child = child
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                self.stats.tuples_produced += 1
+                yield row
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.child,)
+
+
+class Sort(PlanOperator):
+    """Full sort on one or more columns (pipeline breaker)."""
+
+    def __init__(self, child: PlanOperator, columns: Sequence[str]) -> None:
+        super().__init__(child.schema, child.stats)
+        self.child = child
+        self.columns = tuple(columns)
+        self._positions = child.schema.positions(columns)
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = sorted(self.child, key=lambda row: tuple(row[i] for i in self._positions))
+        for row in rows:
+            self.stats.tuples_produced += 1
+            yield row
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Sort{self.columns}"
+
+
+class Materialize(PlanOperator):
+    """Evaluate the child once and replay its rows on every iteration."""
+
+    def __init__(self, child: PlanOperator) -> None:
+        super().__init__(child.schema, child.stats)
+        self.child = child
+        self._cache: Optional[list[Row]] = None
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child)
+        return iter(self._cache)
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.child,)
+
+
+class Limit(PlanOperator):
+    """Emit at most ``count`` rows."""
+
+    def __init__(self, child: PlanOperator, count: int) -> None:
+        super().__init__(child.schema, child.stats)
+        self.child = child
+        self.count = count
+
+    def __iter__(self) -> Iterator[Row]:
+        emitted = 0
+        for row in self.child:
+            if emitted >= self.count:
+                return
+            emitted += 1
+            self.stats.tuples_produced += 1
+            yield row
+
+    def children(self) -> Sequence[PlanOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"

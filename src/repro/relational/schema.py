@@ -1,0 +1,70 @@
+"""Minimal relational schema metadata.
+
+Plan operators in :mod:`repro.relational.operators` exchange rows as
+plain tuples; a :class:`RowSchema` names the columns so that joins and
+projections can be expressed by column name rather than positional
+index, which keeps the twig evaluation plans readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import PlanningError
+
+
+class RowSchema:
+    """An ordered list of column names describing a tuple stream."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise PlanningError(f"duplicate column names in schema: {self.columns}")
+        self._positions = {name: i for i, name in enumerate(self.columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._positions
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowSchema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowSchema{self.columns}"
+
+    def position(self, column: str) -> int:
+        """Index of ``column`` in a row tuple."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise PlanningError(
+                f"column {column!r} not in schema {self.columns}"
+            ) from None
+
+    def positions(self, columns: Iterable[str]) -> list[int]:
+        """Indexes of several columns."""
+        return [self.position(c) for c in columns]
+
+    def project(self, columns: Sequence[str]) -> "RowSchema":
+        """Schema of a projection onto ``columns`` (validates existence)."""
+        for column in columns:
+            self.position(column)
+        return RowSchema(columns)
+
+    def concat(self, other: "RowSchema", suffix: str = "_r") -> "RowSchema":
+        """Schema of a join output; right-side duplicates get ``suffix``."""
+        names = list(self.columns)
+        for column in other.columns:
+            name = column
+            while name in names:
+                name = name + suffix
+            names.append(name)
+        return RowSchema(names)

@@ -1,0 +1,87 @@
+"""Sortable key encoding for composite B+-tree keys.
+
+Index keys in this library are composites such as
+``LeafValue · ReverseSchemaPath`` (ROOTPATHS, Section 3.2) or
+``HeadId · LeafValue · ReverseSchemaPath`` (DATAPATHS, Section 3.3).
+Components can be integers (node ids, tag ids), strings (leaf values)
+or ``None`` (no leaf value).  Python cannot order values of mixed types,
+so every component is wrapped in a small tagged tuple that makes the
+composite keys totally ordered:
+
+* ``None``            → ``(0,)``
+* ``int`` / ``float`` → ``(1, value)``
+* ``str``             → ``(2, value)``
+
+Because the reverse schema path is the *last* part of every composite
+key (exactly why the paper places it last), keys are variable length
+and prefix scans over the encoded tuples implement the paper's
+"B+-trees are very efficient for prefix matches" observation directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from ..errors import KeyEncodingError
+
+KeyComponent = Union[None, int, float, str]
+EncodedComponent = tuple
+EncodedKey = tuple
+
+
+def encode_component(value: KeyComponent) -> EncodedComponent:
+    """Encode one key component into a sortable tagged tuple."""
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        # bool is an int subclass but is almost certainly a caller bug.
+        raise KeyEncodingError("boolean key components are not supported")
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    raise KeyEncodingError(f"cannot encode key component of type {type(value)!r}")
+
+
+def encode_key(components: Iterable[KeyComponent]) -> EncodedKey:
+    """Encode a sequence of components into one sortable composite key."""
+    return tuple(encode_component(c) for c in components)
+
+
+def decode_component(component: EncodedComponent) -> KeyComponent:
+    """Invert :func:`encode_component`."""
+    if component[0] == 0:
+        return None
+    return component[1]
+
+
+def decode_key(key: EncodedKey) -> tuple[KeyComponent, ...]:
+    """Invert :func:`encode_key`."""
+    return tuple(decode_component(c) for c in key)
+
+
+def is_prefix(prefix: EncodedKey, key: EncodedKey) -> bool:
+    """True when ``key`` starts with ``prefix`` component-wise."""
+    return key[: len(prefix)] == prefix
+
+
+def key_byte_size(components: Sequence[KeyComponent]) -> int:
+    """Approximate on-disk byte size of a key, used for space accounting.
+
+    Integers cost 4 bytes, floats 8, strings their length plus a length
+    byte, and ``None`` a single byte.  This mirrors the simple fixed /
+    varchar column sizes a relational system would use.
+    """
+    total = 0
+    for component in components:
+        if component is None:
+            total += 1
+        elif isinstance(component, int):
+            total += 4
+        elif isinstance(component, float):
+            total += 8
+        elif isinstance(component, str):
+            total += len(component) + 1
+        else:  # pragma: no cover - encode_component would have raised
+            raise KeyEncodingError(f"cannot size component {component!r}")
+    return total

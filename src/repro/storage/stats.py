@@ -1,0 +1,89 @@
+"""Logical cost accounting for the storage and execution layers.
+
+The paper reports wall-clock times on DB2 running on 2002-era hardware.
+Absolute times are not reproducible, so every component of this library
+additionally reports *logical* work through a shared
+:class:`StatsCollector`:
+
+* ``btree_node_reads`` — internal + leaf B+-tree nodes visited,
+* ``btree_entries_scanned`` — leaf entries touched during range scans,
+* ``heap_page_reads`` — heap pages fetched by table scans,
+* ``index_lookups`` — number of distinct index probes issued,
+* ``join_probes`` / ``join_comparisons`` — work done by join operators,
+* ``tuples_produced`` — tuples emitted by plan roots.
+
+Benchmarks use these counters (together with wall-clock time) to check
+that the *shape* of the paper's results holds: which strategy wins, by
+roughly what factor, and where crossovers occur.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, fields
+from typing import Iterator
+
+
+@dataclass
+class StatsCollector:
+    """Mutable set of logical-cost counters shared by storage components."""
+
+    btree_node_reads: int = 0
+    btree_entries_scanned: int = 0
+    btree_writes: int = 0
+    heap_page_reads: int = 0
+    heap_page_writes: int = 0
+    index_lookups: int = 0
+    join_probes: int = 0
+    join_comparisons: int = 0
+    tuples_produced: int = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def total_logical_io(self) -> int:
+        """Reads that would hit the buffer pool: B+-tree nodes + heap pages."""
+        return self.btree_node_reads + self.heap_page_reads
+
+    def total_cost(self) -> int:
+        """An aggregate cost proxy used by the benchmark harness.
+
+        Weighted so that page-granularity reads dominate per-entry and
+        per-comparison CPU work, mirroring an I/O-bound cost model.
+        """
+        return (
+            10 * (self.btree_node_reads + self.heap_page_reads)
+            + self.btree_entries_scanned
+            + self.join_comparisons
+            + self.join_probes
+        )
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return {k: getattr(self, k) - v for k, v in earlier.items()}
+
+    @contextlib.contextmanager
+    def measure(self) -> Iterator[dict[str, int]]:
+        """Context manager yielding a dict that is filled with the deltas
+        of every counter when the block exits."""
+        before = self.snapshot()
+        result: dict[str, int] = {}
+        yield result
+        result.update(self.diff(before))
+
+    def __add__(self, other: "StatsCollector") -> "StatsCollector":
+        combined = StatsCollector()
+        for f in fields(self):
+            setattr(combined, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return combined
+
+
+#: A module-level collector used when callers do not supply their own.
+GLOBAL_STATS = StatsCollector()

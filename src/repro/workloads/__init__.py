@@ -1,0 +1,45 @@
+"""The experimental workload: the Q1–Q15 catalog and a query generator."""
+
+from .generator import (
+    GeneratedQuery,
+    XMARK_BRANCHES,
+    XMARK_LOW_BRANCHES,
+    XMARK_TRUNKS,
+    branch_count_sweep,
+    generate_twig,
+)
+from .queries import (
+    ALL_QUERIES,
+    QUERIES_BY_ID,
+    RECURSIVE_TWIG_QUERIES,
+    SELECTIVE_BRANCH_BASELINE,
+    SINGLE_PATH_QUERIES,
+    TWIG_HIGH_BRANCH_QUERIES,
+    TWIG_LOW_BRANCH_QUERIES,
+    WorkloadQuery,
+    make_recursive,
+    queries_for_dataset,
+    queries_for_figure,
+    query,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "GeneratedQuery",
+    "QUERIES_BY_ID",
+    "RECURSIVE_TWIG_QUERIES",
+    "SELECTIVE_BRANCH_BASELINE",
+    "SINGLE_PATH_QUERIES",
+    "TWIG_HIGH_BRANCH_QUERIES",
+    "TWIG_LOW_BRANCH_QUERIES",
+    "WorkloadQuery",
+    "XMARK_BRANCHES",
+    "XMARK_LOW_BRANCHES",
+    "XMARK_TRUNKS",
+    "branch_count_sweep",
+    "generate_twig",
+    "make_recursive",
+    "queries_for_dataset",
+    "queries_for_figure",
+    "query",
+]

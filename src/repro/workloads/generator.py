@@ -1,0 +1,117 @@
+"""Parameterised twig query generation.
+
+Section 5.1.1: "We used a workload of XPath queries, and varied the
+parameters of the query such as the number of branches, the selectivity
+of each branch, and the depth of branches."  The fixed catalog in
+:mod:`repro.workloads.queries` lists the paper's concrete queries; this
+module generates *families* of queries along those same axes so tests
+and ablation benches can sweep them programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import WorkloadError
+
+#: Branch templates against the XMark-like dataset, grouped by
+#: selectivity class.  Each template is the predicate text of one branch.
+XMARK_BRANCHES = {
+    "selective": (
+        "people/person/profile/@income = '46814.17'",
+        "people/person/name = 'Hagen Artosi'",
+        "open_auctions/open_auction/annotation/author/@person = 'person22082'",
+    ),
+    "moderate": (
+        "regions/namerica/item/quantity = '2'",
+        "open_auctions/open_auction/@increase = '75.00'",
+    ),
+    "unselective": (
+        "people/person/profile/@income = '9876.00'",
+        "regions/namerica/item/location = 'united states'",
+        "open_auctions/open_auction/@increase = '3.00'",
+    ),
+}
+
+#: Trunks (output paths) against the XMark-like dataset, by branch depth.
+XMARK_TRUNKS = {
+    "high": "/site",
+    "low": "/site/open_auctions/open_auction",
+}
+
+#: Branch templates usable below the low (open_auction) branch point.
+XMARK_LOW_BRANCHES = {
+    "selective": ("annotation/author/@person = 'person22082'",),
+    "unselective": ("bidder/@increase = '3.00'", "@increase = '3.00'"),
+}
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """A generated query plus the parameters that produced it."""
+
+    xpath: str
+    branches: int
+    selectivities: tuple[str, ...]
+    branch_depth: str
+
+
+def generate_twig(
+    branches: int,
+    selectivities: Sequence[str],
+    branch_depth: str = "high",
+    output_suffix: str = "",
+) -> GeneratedQuery:
+    """Build a twig query with the requested shape.
+
+    Parameters
+    ----------
+    branches:
+        Number of predicate branches (1-3 for high branch points).
+    selectivities:
+        Selectivity class per branch (``selective`` / ``moderate`` /
+        ``unselective``); its length must equal ``branches``.
+    branch_depth:
+        ``high`` attaches branches at ``/site``; ``low`` attaches them
+        at ``/site/open_auctions/open_auction``.
+    output_suffix:
+        Optional extra trunk step below the branch point (for example
+        ``/time`` for the Figure 12(d) queries).
+    """
+    if len(selectivities) != branches:
+        raise WorkloadError("one selectivity class is required per branch")
+    if branch_depth not in XMARK_TRUNKS:
+        raise WorkloadError(f"unknown branch depth {branch_depth!r}")
+    pool = XMARK_BRANCHES if branch_depth == "high" else XMARK_LOW_BRANCHES
+    used: list[str] = []
+    predicates = []
+    for selectivity in selectivities:
+        try:
+            candidates = pool[selectivity]
+        except KeyError:
+            raise WorkloadError(f"unknown selectivity class {selectivity!r}") from None
+        choice = next((c for c in candidates if c not in used), None)
+        if choice is None:
+            raise WorkloadError(
+                f"not enough distinct {selectivity!r} branches for {branches} branches"
+            )
+        used.append(choice)
+        predicates.append(f"[{choice}]")
+    xpath = XMARK_TRUNKS[branch_depth] + "".join(predicates) + output_suffix
+    return GeneratedQuery(
+        xpath=xpath,
+        branches=branches,
+        selectivities=tuple(selectivities),
+        branch_depth=branch_depth,
+    )
+
+
+def branch_count_sweep(
+    selectivity: str, max_branches: int = 3, branch_depth: str = "high"
+) -> list[GeneratedQuery]:
+    """The Figure 12 sweep: 1..max_branches branches of one selectivity class."""
+    return [
+        generate_twig(n, [selectivity] * n, branch_depth=branch_depth)
+        for n in range(1, max_branches + 1)
+    ]

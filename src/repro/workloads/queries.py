@@ -1,0 +1,203 @@
+"""The experimental query workload (Figures 7, 8 and 10).
+
+Each :class:`WorkloadQuery` mirrors one query of the paper's workload,
+rewritten against the synthetic XMark-like / DBLP-like datasets of
+:mod:`repro.datasets` (same schema paths, same selectivity classes).
+The grouping attributes reproduce Figure 10: number of branches,
+selectivity class per branch, branch depth (high vs low branch points)
+and number of recursions.
+
+``recursive_variant`` turns a query into its Section 5.2.4 counterpart
+(the same query with a leading ``//``), used by the recursion-overhead
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload query with its Figure 10 classification."""
+
+    qid: str
+    dataset: str
+    xpath: str
+    branches: int
+    selectivity: str
+    branch_depth: str
+    recursions: int
+    figure: str
+    description: str = ""
+
+    def recursive_variant(self) -> str:
+        """The same query with a leading ``//`` (Section 5.2.4)."""
+        if self.xpath.startswith("//"):
+            return self.xpath
+        return "/" + self.xpath
+        # ``/site/...`` becomes ``//site/...`` — one extra leading slash.
+
+
+# ----------------------------------------------------------------------
+# Single-path queries: Figure 11 (Q1–Q3 on XMark and DBLP)
+# ----------------------------------------------------------------------
+SINGLE_PATH_QUERIES = (
+    WorkloadQuery(
+        "Q1x", "xmark", "/site/regions/namerica/item/quantity[. = '5']",
+        1, "selective", "-", 0, "fig11", "highly selective single path (XMark)",
+    ),
+    WorkloadQuery(
+        "Q2x", "xmark", "/site/regions/namerica/item/quantity[. = '2']",
+        1, "moderate", "-", 0, "fig11", "moderately selective single path (XMark)",
+    ),
+    WorkloadQuery(
+        "Q3x", "xmark", "/site/regions/namerica/item/quantity[. = '1']",
+        1, "unselective", "-", 0, "fig11", "unselective single path (XMark)",
+    ),
+    WorkloadQuery(
+        "Q1d", "dblp", "/dblp/inproceedings/year[. = '1950']",
+        1, "selective", "-", 0, "fig11", "highly selective single path (DBLP)",
+    ),
+    WorkloadQuery(
+        "Q2d", "dblp", "/dblp/inproceedings/year[. = '1979']",
+        1, "moderate", "-", 0, "fig11", "moderately selective single path (DBLP)",
+    ),
+    WorkloadQuery(
+        "Q3d", "dblp", "/dblp/inproceedings/year[. = '1998']",
+        1, "unselective", "-", 0, "fig11", "unselective single path (DBLP)",
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Twig queries with high branch points: Figure 12(a)-(c)
+# ----------------------------------------------------------------------
+#: Single selective branch used as the 1-branch baseline in Figure 12(a).
+SELECTIVE_BRANCH_BASELINE = WorkloadQuery(
+    "Q4x-base", "xmark", "/site[people/person/profile/@income = '46814.17']",
+    1, "selective", "high", 0, "fig12a", "single selective branch baseline",
+)
+
+TWIG_HIGH_BRANCH_QUERIES = (
+    WorkloadQuery(
+        "Q4x", "xmark",
+        "/site[people/person/profile/@income = '46814.17']"
+        "/open_auctions/open_auction[@increase = '75.00']",
+        2, "selective", "high", 0, "fig12a", "two selective branches",
+    ),
+    WorkloadQuery(
+        "Q5x", "xmark",
+        "/site[people/person/profile/@income = '46814.17']"
+        "[people/person/name = 'Hagen Artosi']"
+        "/open_auctions/open_auction[@increase = '75.00']",
+        3, "selective", "high", 0, "fig12a", "three selective branches",
+    ),
+    WorkloadQuery(
+        "Q6x", "xmark",
+        "/site[people/person/profile/@income = '9876.00']"
+        "/open_auctions/open_auction[@increase = '75.00']",
+        2, "mixed", "high", 0, "fig12b", "selective + unselective branches",
+    ),
+    WorkloadQuery(
+        "Q7x", "xmark",
+        "/site[people/person/profile/@income = '9876.00']"
+        "[regions/namerica/item/location = 'united states']"
+        "/open_auctions/open_auction[@increase = '75.00']",
+        3, "mixed", "high", 0, "fig12b", "selective + two unselective branches",
+    ),
+    WorkloadQuery(
+        "Q8x", "xmark",
+        "/site[people/person/profile/@income = '9876.00']"
+        "/open_auctions/open_auction[@increase = '3.00']",
+        2, "unselective", "high", 0, "fig12c", "two unselective branches",
+    ),
+    WorkloadQuery(
+        "Q9x", "xmark",
+        "/site[people/person/profile/@income = '9876.00']"
+        "[regions/namerica/item/location = 'united states']"
+        "/open_auctions/open_auction[@increase = '3.00']",
+        3, "unselective", "high", 0, "fig12c", "three unselective branches",
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Twig queries with low branch points: Figure 12(d)
+# ----------------------------------------------------------------------
+TWIG_LOW_BRANCH_QUERIES = (
+    WorkloadQuery(
+        "Q10x", "xmark",
+        "/site/open_auctions/open_auction"
+        "[annotation/author/@person = 'person22082']/time",
+        2, "mixed", "low", 0, "fig12d", "selective branch, unselective output, low branch point",
+    ),
+    WorkloadQuery(
+        "Q11x", "xmark",
+        "/site/open_auctions/open_auction"
+        "[annotation/author/@person = 'person22082']"
+        "[bidder/@increase = '3.00']/time",
+        3, "mixed", "low", 0, "fig12d", "three branches, low branch point",
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Recursive branch-point queries: Figure 13 / Figure 8
+# ----------------------------------------------------------------------
+RECURSIVE_TWIG_QUERIES = (
+    WorkloadQuery(
+        "Q12x", "xmark",
+        "/site//item[incategory/category = 'category440']/mailbox/mail/date",
+        2, "mixed", "low", 1, "fig13a", "recursive item branch, selective + unselective",
+    ),
+    WorkloadQuery(
+        "Q13x", "xmark",
+        "/site//item[incategory/category = 'category440']"
+        "[mailbox/mail/date]/mailbox/mail/to",
+        3, "mixed", "low", 1, "fig13a", "recursive item branch, three branches",
+    ),
+    WorkloadQuery(
+        "Q14x", "xmark",
+        "/site//item[quantity = '2'][location = 'United States']",
+        2, "unselective", "low", 1, "fig13b", "recursive item branch, unselective",
+    ),
+    WorkloadQuery(
+        "Q15x", "xmark",
+        "/site//item[quantity = '2'][location = 'United States']/mailbox/mail/to",
+        3, "unselective", "low", 1, "fig13b", "recursive item branch, three unselective branches",
+    ),
+)
+
+#: Every workload query, in paper order.
+ALL_QUERIES: tuple[WorkloadQuery, ...] = (
+    SINGLE_PATH_QUERIES
+    + (SELECTIVE_BRANCH_BASELINE,)
+    + TWIG_HIGH_BRANCH_QUERIES
+    + TWIG_LOW_BRANCH_QUERIES
+    + RECURSIVE_TWIG_QUERIES
+)
+
+QUERIES_BY_ID: dict[str, WorkloadQuery] = {query.qid: query for query in ALL_QUERIES}
+
+
+def query(qid: str) -> WorkloadQuery:
+    """Look a workload query up by its id (``Q1x`` ... ``Q15x``, ``Q1d``...)."""
+    return QUERIES_BY_ID[qid]
+
+
+def queries_for_dataset(dataset: str) -> list[WorkloadQuery]:
+    """All workload queries that run against one dataset."""
+    return [q for q in ALL_QUERIES if q.dataset == dataset]
+
+
+def queries_for_figure(figure: str) -> list[WorkloadQuery]:
+    """All workload queries contributing to one figure of the paper."""
+    return [q for q in ALL_QUERIES if q.figure == figure]
+
+
+def make_recursive(xpath: str) -> str:
+    """Turn ``/site/...`` into ``//site/...`` (Section 5.2.4 variants)."""
+    if xpath.startswith("//"):
+        return xpath
+    if xpath.startswith("/"):
+        return "/" + xpath
+    return "//" + xpath

@@ -1,0 +1,34 @@
+"""XML tree substrate: node model, documents, parsing, tag dictionary.
+
+This package implements the paper's data model (Section 2.1): an XML
+database is a forest of rooted, ordered, labeled trees whose non-leaf
+nodes (elements and attributes) carry unique numeric identifiers and
+whose leaves are string values.
+"""
+
+from .dictionary import TagDictionary
+from .document import (
+    Document,
+    TreeBuilder,
+    VIRTUAL_ROOT_ID,
+    VIRTUAL_ROOT_LABEL,
+    XmlDatabase,
+    build_database,
+)
+from .nodes import Node, NodeKind
+from .parser import parse_file, parse_string, serialize
+
+__all__ = [
+    "Document",
+    "Node",
+    "NodeKind",
+    "TagDictionary",
+    "TreeBuilder",
+    "VIRTUAL_ROOT_ID",
+    "VIRTUAL_ROOT_LABEL",
+    "XmlDatabase",
+    "build_database",
+    "parse_file",
+    "parse_string",
+    "serialize",
+]

@@ -1,0 +1,255 @@
+"""Document and database containers for the XML tree model.
+
+A :class:`Document` wraps a single rooted tree.  An :class:`XmlDatabase`
+is the forest the paper indexes: it owns the node-id space, the tag
+dictionary, and (as in Section 3.3, footnote 4) a *virtual root* that is
+the parent of every document root so that the DATAPATHS index can solve
+the FreeIndex problem by using the virtual root as the HeadId.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..errors import DocumentError
+from .dictionary import TagDictionary
+from .nodes import Node, NodeKind
+
+#: Label used for the virtual root that parents all document roots.
+VIRTUAL_ROOT_LABEL = "#root"
+
+#: Node id reserved for the virtual root.
+VIRTUAL_ROOT_ID = 0
+
+
+class Document:
+    """A single XML document: one rooted, ordered, labeled tree."""
+
+    def __init__(self, root: Node, name: str = "") -> None:
+        if not root.is_structural:
+            raise DocumentError("document root must be an element")
+        self.root = root
+        self.name = name
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes of the document in document order."""
+        return self.root.iter_subtree()
+
+    def iter_structural(self) -> Iterator[Node]:
+        """All element and attribute nodes in document order."""
+        return (n for n in self.iter_nodes() if n.is_structural)
+
+    def count_nodes(self) -> int:
+        """Number of nodes (including value leaves) in the document."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Document(name={self.name!r}, root={self.root.label!r})"
+
+
+class XmlDatabase:
+    """The XML database: a forest of documents sharing one id space.
+
+    The database assigns document-order (pre-order, depth-first) numeric
+    identifiers to structural nodes, starting at 1, exactly as in
+    Figure 1(b) of the paper.  Value nodes receive ids too (they are
+    needed by the Edge-table baseline) but ids of value leaves are never
+    part of IdLists.
+
+    A virtual root (id 0) parents every document root so paths "starting
+    at the root" have a well defined HeadId even across documents.
+    """
+
+    def __init__(self) -> None:
+        self.virtual_root = Node(NodeKind.ELEMENT, VIRTUAL_ROOT_LABEL, VIRTUAL_ROOT_ID)
+        self.documents: list[Document] = []
+        self.tags = TagDictionary()
+        self._nodes_by_id: dict[int, Node] = {VIRTUAL_ROOT_ID: self.virtual_root}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> Document:
+        """Add ``document`` to the database, numbering its nodes.
+
+        Node ids are assigned in document order continuing from the last
+        id used by previously added documents.
+        """
+        document.root.parent = self.virtual_root
+        document.root.depth = 1
+        self.virtual_root.children.append(document.root)
+        self._renumber(document.root)
+        self.documents.append(document)
+        return document
+
+    def add_tree(self, root: Node, name: str = "") -> Document:
+        """Wrap ``root`` in a :class:`Document` and add it."""
+        return self.add_document(Document(root, name=name))
+
+    def _renumber(self, root: Node) -> None:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node.node_id = self._next_id
+            self._next_id += 1
+            self._nodes_by_id[node.node_id] = node
+            if node.is_structural:
+                self.tags.intern(node.label)
+            if node.parent is not None and node.parent is not self.virtual_root:
+                node.depth = node.parent.depth + 1
+            stack.extend(reversed(node.children))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        """Return the node with the given id.
+
+        Raises
+        ------
+        DocumentError
+            If no node with that id exists.
+        """
+        try:
+            return self._nodes_by_id[node_id]
+        except KeyError:
+            raise DocumentError(f"no node with id {node_id}") from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes_by_id
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes of all documents in document order (virtual root excluded)."""
+        for document in self.documents:
+            yield from document.iter_nodes()
+
+    def iter_structural(self) -> Iterator[Node]:
+        """All element and attribute nodes in document order."""
+        return (n for n in self.iter_nodes() if n.is_structural)
+
+    def iter_by_label(self, label: str) -> Iterator[Node]:
+        """All structural nodes carrying the given tag or attribute name."""
+        return (n for n in self.iter_structural() if n.label == label)
+
+    @property
+    def node_count(self) -> int:
+        """Number of structural nodes in the database."""
+        return sum(1 for _ in self.iter_structural())
+
+    @property
+    def value_count(self) -> int:
+        """Number of value leaves in the database."""
+        return sum(1 for n in self.iter_nodes() if n.is_value)
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest structural node (document roots are depth 1)."""
+        return max((n.depth for n in self.iter_structural()), default=0)
+
+    def estimated_data_size_bytes(self) -> int:
+        """A rough serialized-size estimate of the database.
+
+        Used to report index sizes relative to the data size as the
+        paper does in Section 5.2.5 ("1.4 times the data size").
+        """
+        total = 0
+        for node in self.iter_nodes():
+            if node.is_value:
+                total += len(node.label) + 1
+            else:
+                # open tag + close tag
+                total += 2 * len(node.label) + 5
+        return total
+
+    # ------------------------------------------------------------------
+    # Statistics helpers used by the planner and the benches
+    # ------------------------------------------------------------------
+    def label_counts(self) -> dict[str, int]:
+        """Mapping of tag/attribute name to number of occurrences."""
+        counts: dict[str, int] = {}
+        for node in self.iter_structural():
+            counts[node.label] = counts.get(node.label, 0) + 1
+        return counts
+
+    def distinct_schema_path_count(self) -> int:
+        """Number of distinct root-to-node label paths in the database."""
+        seen: set[tuple[str, ...]] = set()
+        for node in self.iter_structural():
+            seen.add(tuple(node.root_path_labels()))
+        return len(seen)
+
+
+# ----------------------------------------------------------------------
+# Programmatic tree construction
+# ----------------------------------------------------------------------
+class TreeBuilder:
+    """A small fluent helper for building trees in code and in tests.
+
+    Example
+    -------
+    >>> b = TreeBuilder("book")
+    >>> b.child("title", text="XML")
+    >>> with b.element("author"):
+    ...     b.child("fn", text="jane")
+    ...     b.child("ln", text="doe")
+    >>> doc_root = b.root
+    """
+
+    def __init__(self, root_tag: str) -> None:
+        self.root = Node(NodeKind.ELEMENT, root_tag)
+        self._stack = [self.root]
+
+    @property
+    def current(self) -> Node:
+        """The element new children are currently appended to."""
+        return self._stack[-1]
+
+    def child(self, tag: str, text: Optional[str] = None) -> Node:
+        """Append a child element, optionally with a text value leaf."""
+        node = self.current.add_child(Node(NodeKind.ELEMENT, tag))
+        if text is not None:
+            node.add_child(Node(NodeKind.VALUE, text))
+        return node
+
+    def attribute(self, name: str, value: str) -> Node:
+        """Append an attribute node with its value leaf."""
+        node = self.current.add_child(Node(NodeKind.ATTRIBUTE, name))
+        node.add_child(Node(NodeKind.VALUE, value))
+        return node
+
+    def text(self, value: str) -> Node:
+        """Append a text value leaf to the current element."""
+        return self.current.add_child(Node(NodeKind.VALUE, value))
+
+    def element(self, tag: str) -> "_BuilderScope":
+        """Open a nested element usable as a context manager."""
+        node = self.current.add_child(Node(NodeKind.ELEMENT, tag))
+        return _BuilderScope(self, node)
+
+    def build(self, name: str = "") -> Document:
+        """Finish and return the built document."""
+        return Document(self.root, name=name)
+
+
+class _BuilderScope:
+    """Context manager returned by :meth:`TreeBuilder.element`."""
+
+    def __init__(self, builder: TreeBuilder, node: Node) -> None:
+        self._builder = builder
+        self.node = node
+
+    def __enter__(self) -> Node:
+        self._builder._stack.append(self.node)
+        return self.node
+
+    def __exit__(self, *exc: object) -> None:
+        self._builder._stack.pop()
+
+
+def build_database(documents: Iterable[Document]) -> XmlDatabase:
+    """Convenience constructor: a database from an iterable of documents."""
+    db = XmlDatabase()
+    for document in documents:
+        db.add_document(document)
+    return db

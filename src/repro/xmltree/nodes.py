@@ -1,0 +1,146 @@
+"""Node model for the XML database.
+
+The paper (Section 2.1) models an XML database as a forest of rooted,
+ordered, labeled trees.  Non-leaf nodes are elements and attributes,
+labeled with tags or attribute names; leaf nodes are string values.
+Each non-leaf node carries a unique numeric identifier (Figure 1(b)).
+
+This module defines :class:`Node`, the single concrete node type used for
+elements, attributes and values, plus the :class:`NodeKind` enumeration
+that distinguishes the three roles.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+
+class NodeKind(enum.Enum):
+    """The three node roles in the paper's data model."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    VALUE = "value"
+
+
+class Node:
+    """A single node in the XML database tree.
+
+    Parameters
+    ----------
+    kind:
+        Whether this node is an element, attribute, or leaf value.
+    label:
+        The element tag or attribute name for structural nodes, or the
+        string content for value nodes.
+    node_id:
+        Unique numeric identifier.  Value nodes share the document-order
+        numbering but are never returned as structural matches; the paper
+        only shows ids next to non-leaf nodes, and indices store ids of
+        structural nodes only.
+    """
+
+    __slots__ = ("kind", "label", "node_id", "parent", "children", "depth")
+
+    def __init__(self, kind: NodeKind, label: str, node_id: int = -1) -> None:
+        self.kind = kind
+        self.label = label
+        self.node_id = node_id
+        self.parent: Optional[Node] = None
+        self.children: list[Node] = []
+        self.depth: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` to this node and return the child."""
+        child.parent = self
+        child.depth = self.depth + 1
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_element(self) -> bool:
+        """True when this node is an element."""
+        return self.kind is NodeKind.ELEMENT
+
+    @property
+    def is_attribute(self) -> bool:
+        """True when this node is an attribute."""
+        return self.kind is NodeKind.ATTRIBUTE
+
+    @property
+    def is_value(self) -> bool:
+        """True when this node is a leaf string value."""
+        return self.kind is NodeKind.VALUE
+
+    @property
+    def is_structural(self) -> bool:
+        """True for elements and attributes (the nodes that carry ids in
+        the paper's figures and that indices return)."""
+        return self.kind is not NodeKind.VALUE
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def structural_children(self) -> list["Node"]:
+        """Children that are elements or attributes (no value leaves)."""
+        return [c for c in self.children if c.is_structural]
+
+    def value_children(self) -> list["Node"]:
+        """Children that are leaf value nodes."""
+        return [c for c in self.children if c.is_value]
+
+    def first_value(self) -> Optional[str]:
+        """The string content directly below this node, if any.
+
+        Elements such as ``<title>XML</title>`` have exactly one value
+        child; elements with element children usually have none.
+        """
+        for child in self.children:
+            if child.is_value:
+                return child.label
+        return None
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield this node and every descendant in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root_path_labels(self) -> list[str]:
+        """Labels on the path from the document root down to this node."""
+        labels = [self.label]
+        labels.extend(a.label for a in self.ancestors())
+        labels.reverse()
+        return labels
+
+    def is_descendant_of(self, other: "Node") -> bool:
+        """True when ``other`` is a proper ancestor of this node."""
+        return any(a is other for a in self.ancestors())
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.kind.value}, {self.label!r}, id={self.node_id})"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)

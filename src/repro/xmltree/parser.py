@@ -1,0 +1,110 @@
+"""Parsing XML text into the library's node model.
+
+Two entry points are provided:
+
+* :func:`parse_string` / :func:`parse_file` — parse arbitrary XML using
+  the standard library's :mod:`xml.etree.ElementTree` and convert the
+  result into :class:`~repro.xmltree.nodes.Node` trees.  Attributes
+  become attribute nodes with value leaves; element text becomes value
+  leaves, matching the paper's data model (Section 2.1).
+* :func:`serialize` — the inverse, mainly used by tests and examples.
+
+Whitespace-only text is dropped: the paper's model has values only at
+leaves and the datasets it uses (DBLP, XMark) are data-centric.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import IO, Union
+
+from ..errors import XmlParseError
+from .document import Document
+from .nodes import Node, NodeKind
+
+
+def parse_string(text: str, name: str = "") -> Document:
+    """Parse an XML string into a :class:`Document`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlParseError(str(exc)) from exc
+    return Document(_convert(root), name=name)
+
+
+def parse_file(source: Union[str, IO[bytes], IO[str]], name: str = "") -> Document:
+    """Parse an XML file (path or file object) into a :class:`Document`."""
+    try:
+        tree = ET.parse(source)
+    except (ET.ParseError, OSError) as exc:
+        raise XmlParseError(str(exc)) from exc
+    return Document(_convert(tree.getroot()), name=name)
+
+
+def _convert(element: ET.Element) -> Node:
+    """Convert an ElementTree element into a Node subtree."""
+    node = Node(NodeKind.ELEMENT, _local_name(element.tag))
+    for attr_name, attr_value in element.attrib.items():
+        attr = node.add_child(Node(NodeKind.ATTRIBUTE, _local_name(attr_name)))
+        attr.add_child(Node(NodeKind.VALUE, attr_value))
+    text = (element.text or "").strip()
+    if text:
+        node.add_child(Node(NodeKind.VALUE, text))
+    for child in element:
+        node.add_child(_convert(child))
+        tail = (child.tail or "").strip()
+        if tail:
+            node.add_child(Node(NodeKind.VALUE, tail))
+    return node
+
+
+def _local_name(name: str) -> str:
+    """Strip a ``{namespace}`` prefix, if any."""
+    if name.startswith("{"):
+        return name.split("}", 1)[1]
+    return name
+
+
+def serialize(document: Document, indent: str = "  ") -> str:
+    """Serialize a :class:`Document` back to XML text.
+
+    The output is intended for inspection and round-trip tests; it is
+    not a byte-exact reproduction of arbitrary input (whitespace was
+    normalised during parsing).
+    """
+    lines: list[str] = []
+    _serialize_node(document.root, lines, 0, indent)
+    return "\n".join(lines)
+
+
+def _serialize_node(node: Node, lines: list[str], level: int, indent: str) -> None:
+    pad = indent * level
+    if node.is_value:
+        lines.append(f"{pad}{_escape(node.label)}")
+        return
+    attrs = [c for c in node.children if c.is_attribute]
+    others = [c for c in node.children if not c.is_attribute]
+    attr_text = "".join(
+        f' {a.label}="{_escape(a.first_value() or "")}"' for a in attrs
+    )
+    if not others:
+        lines.append(f"{pad}<{node.label}{attr_text}/>")
+        return
+    if len(others) == 1 and others[0].is_value:
+        lines.append(
+            f"{pad}<{node.label}{attr_text}>{_escape(others[0].label)}</{node.label}>"
+        )
+        return
+    lines.append(f"{pad}<{node.label}{attr_text}>")
+    for child in others:
+        _serialize_node(child, lines, level + 1, indent)
+    lines.append(f"{pad}</{node.label}>")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

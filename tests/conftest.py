@@ -1,0 +1,35 @@
+"""Shared fixtures: the Figure 1 book database and small synthetic datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TwigIndexDatabase
+from repro.datasets import book_document, generate_dblp, generate_xmark
+from repro.xmltree import XmlDatabase
+
+
+@pytest.fixture()
+def book_db() -> TwigIndexDatabase:
+    """A fresh TwigIndexDatabase loaded with the Figure 1 book."""
+    return TwigIndexDatabase.from_documents([book_document()])
+
+
+@pytest.fixture()
+def book_xmldb() -> XmlDatabase:
+    """A raw XmlDatabase loaded with the Figure 1 book."""
+    db = XmlDatabase()
+    db.add_document(book_document())
+    return db
+
+
+@pytest.fixture(scope="session")
+def xmark_small() -> TwigIndexDatabase:
+    """A small XMark-like database shared across the test session."""
+    return TwigIndexDatabase.from_documents([generate_xmark(scale=0.06, seed=7)])
+
+
+@pytest.fixture(scope="session")
+def dblp_small() -> TwigIndexDatabase:
+    """A small DBLP-like database shared across the test session."""
+    return TwigIndexDatabase.from_documents([generate_dblp(scale=0.06, seed=7)])

@@ -1,0 +1,198 @@
+"""Tests for the TwigIndexDatabase facade, the dataset generators,
+the workload catalog and the benchmark harness."""
+
+import pytest
+
+from repro import DEFAULT_STRATEGIES, TwigIndexDatabase, parse_xpath
+from repro.bench import compare_strategies, format_table, get_context, measurement_table, size_table, speedup
+from repro.datasets import (
+    BOOK_XML,
+    REGIONS,
+    book_document,
+    generate_dblp,
+    generate_xmark,
+)
+from repro.errors import PlanningError
+from repro.query import NaiveMatcher
+from repro.workloads import (
+    ALL_QUERIES,
+    WorkloadQuery,
+    branch_count_sweep,
+    generate_twig,
+    make_recursive,
+    queries_for_dataset,
+    queries_for_figure,
+    query,
+)
+
+
+# ----------------------------------------------------------------------
+# Engine facade
+# ----------------------------------------------------------------------
+def test_from_xml_and_query(book_db):
+    db = TwigIndexDatabase.from_xml(BOOK_XML, name="book")
+    result = db.query("/book/title", strategy="rootpaths")
+    assert result.cardinality == 1
+    assert db.node(result.ids[0]).label == "title"
+    assert result.elapsed_seconds >= 0
+    assert result.logical_io > 0
+    assert result.total_cost >= result.logical_io
+
+
+def test_engine_builds_indexes_on_demand(book_db):
+    assert book_db.indexes == {}
+    book_db.query("/book/title", strategy="datapaths")
+    assert "datapaths" in book_db.indexes
+    book_db.query("/book/title", strategy="dataguide_edge")
+    assert {"dataguide", "edge"} <= set(book_db.indexes)
+
+
+def test_engine_unknown_strategy_and_index(book_db):
+    with pytest.raises(PlanningError):
+        book_db.query("/book", strategy="btree-of-dreams")
+    with pytest.raises(PlanningError):
+        book_db.build_index("nope")
+
+
+def test_query_all_strategies_consistent(book_db):
+    results = book_db.query_all_strategies("/book//author[ln='doe']")
+    ids = {tuple(r.ids) for r in results.values()}
+    assert len(ids) == 1
+    assert set(results) == set(DEFAULT_STRATEGIES)
+
+
+def test_describe_and_sizes(book_db):
+    info = book_db.describe()
+    assert info["documents"] == 1
+    assert info["structural_nodes"] == 17
+    assert info["distinct_schema_paths"] == 11
+    book_db.build_index("rootpaths")
+    sizes = book_db.index_sizes_mb()
+    assert sizes["rootpaths"] > 0
+
+
+def test_parse_and_matcher_helpers(book_db):
+    twig = book_db.parse("/book/title")
+    assert twig.output.label == "title"
+    assert isinstance(book_db.matcher(), NaiveMatcher)
+    assert book_db.oracle(twig) == book_db.query(twig, strategy="rootpaths").ids
+
+
+# ----------------------------------------------------------------------
+# Dataset generators
+# ----------------------------------------------------------------------
+def test_xmark_generator_is_deterministic():
+    a = generate_xmark(scale=0.05, seed=11)
+    b = generate_xmark(scale=0.05, seed=11)
+    assert [n.label for n in a.root.iter_subtree()] == [n.label for n in b.root.iter_subtree()]
+    c = generate_xmark(scale=0.05, seed=12)
+    assert [n.label for n in a.root.iter_subtree()] != [n.label for n in c.root.iter_subtree()]
+
+
+def test_xmark_has_expected_shape_and_planted_values():
+    document = generate_xmark(scale=0.08, seed=5)
+    db = TwigIndexDatabase.from_documents([document])
+    matcher = db.matcher()
+    assert [c.label for c in document.root.structural_children()] == [
+        "regions",
+        "people",
+        "open_auctions",
+    ]
+    regions = document.root.structural_children()[0]
+    assert [r.label for r in regions.structural_children()] == [name for name, _ in REGIONS]
+    # Planted selective values exist exactly once (or thrice for person22082).
+    assert matcher.count_matches(parse_xpath("//quantity[.='5']")) == 1
+    assert matcher.count_matches(parse_xpath("//person[profile/@income='46814.17']")) == 1
+    assert matcher.count_matches(parse_xpath("//person[name='Hagen Artosi']")) == 1
+    assert matcher.count_matches(parse_xpath("//open_auction[annotation/author/@person='person22082']")) == 3
+    # Selectivity ordering of the quantity classes (Q1x < Q2x < Q3x).
+    q1 = matcher.count_matches(parse_xpath("/site/regions/namerica/item/quantity[.='5']"))
+    q2 = matcher.count_matches(parse_xpath("/site/regions/namerica/item/quantity[.='2']"))
+    q3 = matcher.count_matches(parse_xpath("/site/regions/namerica/item/quantity[.='1']"))
+    assert q1 < q2 < q3
+    # '//item' reaches six region paths.
+    from repro.paths import PathPattern, distinct_schema_paths, matching_schema_paths
+
+    item_paths = matching_schema_paths(
+        PathPattern((("site",), ("item",)), anchored=True), distinct_schema_paths(db.db)
+    )
+    assert len(item_paths) == 6
+
+
+def test_dblp_generator_shape_and_selectivities():
+    document = generate_dblp(scale=0.08, seed=5)
+    db = TwigIndexDatabase.from_documents([document])
+    matcher = db.matcher()
+    assert document.root.label == "dblp"
+    q1 = matcher.count_matches(parse_xpath("/dblp/inproceedings/year[.='1950']"))
+    q2 = matcher.count_matches(parse_xpath("/dblp/inproceedings/year[.='1979']"))
+    q3 = matcher.count_matches(parse_xpath("/dblp/inproceedings/year[.='1998']"))
+    assert q1 == 1 and q1 < q2 < q3
+    # DBLP is shallow, XMark is deep.
+    assert db.db.max_depth <= 3
+    xmark_db = TwigIndexDatabase.from_documents([generate_xmark(scale=0.05, seed=5)])
+    assert xmark_db.db.max_depth > db.db.max_depth
+
+
+def test_book_document_matches_figure_1():
+    document = book_document()
+    labels = [n.label for n in document.root.iter_subtree() if n.is_structural]
+    assert labels.count("author") == 3
+    assert labels.count("title") == 2
+
+
+# ----------------------------------------------------------------------
+# Workload catalog and generator
+# ----------------------------------------------------------------------
+def test_workload_catalog_covers_paper_figures():
+    assert len(queries_for_dataset("dblp")) == 3
+    assert {q.qid for q in queries_for_figure("fig12d")} == {"Q10x", "Q11x"}
+    assert {q.qid for q in queries_for_figure("fig13a")} == {"Q12x", "Q13x"}
+    q5 = query("Q5x")
+    assert q5.branches == 3 and q5.branch_depth == "high"
+    assert all(q.recursions == 1 for q in queries_for_figure("fig13a") + queries_for_figure("fig13b"))
+    assert len({q.qid for q in ALL_QUERIES}) == len(ALL_QUERIES)
+
+
+def test_workload_queries_parse_and_classify():
+    for workload_query in ALL_QUERIES:
+        twig = parse_xpath(workload_query.xpath)
+        assert twig.branch_count == workload_query.branches, workload_query.qid
+        assert twig.has_recursion == (workload_query.recursions > 0), workload_query.qid
+
+
+def test_recursive_variant_adds_leading_descendant_axis():
+    q4 = query("Q4x")
+    variant = q4.recursive_variant()
+    assert variant.startswith("//site")
+    assert make_recursive("/site/a") == "//site/a"
+    assert make_recursive("//site/a") == "//site/a"
+
+
+def test_generate_twig_and_sweep():
+    generated = generate_twig(2, ["selective", "unselective"], branch_depth="high")
+    twig = parse_xpath(generated.xpath)
+    assert twig.branch_count == 2
+    sweep = branch_count_sweep("unselective", max_branches=3)
+    assert [g.branches for g in sweep] == [1, 2, 3]
+    with pytest.raises(Exception):
+        generate_twig(2, ["selective"])
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness
+# ----------------------------------------------------------------------
+def test_bench_context_and_measurements():
+    context = get_context("xmark", scale=0.05, seed=3)
+    assert get_context("xmark", scale=0.05, seed=3) is context  # cached
+    measurements = compare_strategies(context, query("Q1x"), strategies=("rootpaths", "datapaths"))
+    assert set(measurements) == {"rootpaths", "datapaths"}
+    for measurement in measurements.values():
+        assert measurement.correct
+        assert measurement.total_cost > 0
+    table = measurement_table({"Q1x": measurements}, metric="total_cost", title="t")
+    assert "Q1x" in table and "RP" in table
+    assert speedup(measurements["rootpaths"], measurements["datapaths"]) > 0
+    sizes = size_table({"xmark": {"RP": 1.0, "DP": 2.0}})
+    assert "xmark" in sizes
+    assert "a  b" in format_table(("a", "b"), [("1", "2")])

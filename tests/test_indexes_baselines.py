@@ -1,0 +1,160 @@
+"""Tests for the baseline indices: Edge, DataGuide, Index Fabric, ASR, Join Indices."""
+
+import pytest
+
+from repro.indexes import (
+    AccessSupportRelationsIndex,
+    DataGuideIndex,
+    EdgeIndex,
+    INDEX_TYPES,
+    IndexFabricIndex,
+    JoinIndicesIndex,
+)
+from repro.paths import PathPattern
+from repro.storage import StatsCollector
+from repro.xmltree.document import VIRTUAL_ROOT_ID
+
+
+# ----------------------------------------------------------------------
+# Edge table
+# ----------------------------------------------------------------------
+def test_edge_value_tag_and_link_indices(book_xmldb):
+    edge = EdgeIndex(stats=StatsCollector()).build(book_xmldb)
+    assert edge.edge_count == book_xmldb.node_count
+    janes = edge.nodes_with_value("fn", "jane")
+    assert len(janes) == 2
+    assert len(edge.nodes_with_label("author")) == 3
+    parent = edge.parent_of(janes[0])
+    assert parent is not None and parent[1] == "author"
+    author_id = parent[0]
+    assert sorted(edge.children_of(author_id, "fn")) == sorted(
+        i for i in janes if edge.parent_of(i)[0] == author_id
+    )
+
+
+def test_edge_ancestor_walk_reaches_virtual_root(book_xmldb):
+    edge = EdgeIndex(stats=StatsCollector()).build(book_xmldb)
+    fn_id = edge.nodes_with_value("fn", "john")[0]
+    chain = list(edge.ancestors_of(fn_id))
+    assert [label for _id, label in chain] == ["author", "allauthors", "book", "#root"]
+    assert chain[-1][0] == VIRTUAL_ROOT_ID
+
+
+def test_edge_value_of(book_xmldb):
+    edge = EdgeIndex(stats=StatsCollector()).build(book_xmldb)
+    title_id = edge.nodes_with_value("title", "XML")[0]
+    assert edge.value_of(title_id) == "XML"
+
+
+# ----------------------------------------------------------------------
+# DataGuide
+# ----------------------------------------------------------------------
+def test_dataguide_lookup_and_distinct_paths(book_xmldb):
+    guide = DataGuideIndex(stats=StatsCollector()).build(book_xmldb)
+    assert len(guide.distinct_paths()) == 11
+    title_ids = guide.lookup_path(("book", "title"))
+    assert len(title_ids) == 1
+    author_ids = guide.lookup_path(("book", "allauthors", "author"))
+    assert len(author_ids) == 3
+    assert guide.lookup_path(("book", "unknown")) == []
+
+
+def test_dataguide_paths_matching_recursive_pattern(book_xmldb):
+    guide = DataGuideIndex(stats=StatsCollector()).build(book_xmldb)
+    pattern = PathPattern((("title",),), anchored=False)
+    matching = guide.paths_matching(pattern)
+    assert sorted(matching) == [("book", "chapter", "title"), ("book", "title")]
+
+
+# ----------------------------------------------------------------------
+# Index Fabric
+# ----------------------------------------------------------------------
+def test_index_fabric_lookup_by_path_and_value(book_xmldb):
+    fabric = IndexFabricIndex(stats=StatsCollector()).build(book_xmldb)
+    ids = fabric.lookup(("book", "allauthors", "author", "fn"), "jane")
+    assert len(ids) == 2
+    assert all(book_xmldb.node(i).label == "fn" for i in ids)
+    assert fabric.lookup(("book", "title"), "nope") == []
+    assert fabric.supports(("book", "title"), "XML")
+    assert not fabric.supports(("book", "title"), None)
+    assert not fabric.supports(("book", "nothing"), "x")
+
+
+def test_index_fabric_return_first_option(book_xmldb):
+    fabric = IndexFabricIndex(stats=StatsCollector(), return_first=True).build(book_xmldb)
+    ids = fabric.lookup(("book", "allauthors", "author", "fn"), "jane")
+    assert set(ids) == {book_xmldb.documents[0].root.node_id}
+
+
+# ----------------------------------------------------------------------
+# Access Support Relations
+# ----------------------------------------------------------------------
+def test_asr_one_relation_per_schema_path(book_xmldb):
+    asr = AccessSupportRelationsIndex(stats=StatsCollector()).build(book_xmldb)
+    assert asr.relation_count == 11
+    relation = asr.relation_for(("book", "allauthors", "author", "ln"))
+    assert relation is not None
+    rows = relation.rows_with_value("doe")
+    assert len(rows) == 2
+    # All intermediate ids are stored in separate columns.
+    assert all(len(row) == 5 for row in rows)  # 4 ids + value
+    assert asr.relation_for(("missing",)) is None
+
+
+def test_asr_relations_matching_charges_per_relation(book_xmldb):
+    stats = StatsCollector()
+    asr = AccessSupportRelationsIndex(stats=stats).build(book_xmldb)
+    stats.reset()
+    pattern = PathPattern((("book",), ("title",)), anchored=True)
+    matching = asr.relations_matching(pattern)
+    assert len(matching) == 2
+    assert stats.heap_page_reads >= 2 * asr.RELATION_OPEN_COST
+
+
+# ----------------------------------------------------------------------
+# Join Indices
+# ----------------------------------------------------------------------
+def test_join_index_forward_and_backward_lookups(book_xmldb):
+    ji = JoinIndicesIndex(stats=StatsCollector()).build(book_xmldb)
+    relation = ji.relation_for(("author", "fn"))
+    assert relation is not None
+    heads = relation.heads_for_value("jane")
+    assert len(heads) == 2
+    assert all(book_xmldb.node(h).label == "author" for h in heads)
+    pairs = relation.backward_pairs_for_value("jane")
+    assert all(book_xmldb.node(t).label == "fn" for _h, t in pairs)
+    tails = relation.tails_for_head(heads[0])
+    assert any(value == "jane" for _tail, value in tails)
+    assert len(relation.all_pairs()) == relation.pair_count
+
+
+def test_join_index_has_more_relations_and_space_than_asr(book_xmldb):
+    asr = AccessSupportRelationsIndex(stats=StatsCollector()).build(book_xmldb)
+    ji = JoinIndicesIndex(stats=StatsCollector()).build(book_xmldb)
+    assert ji.relation_count >= asr.relation_count
+    assert ji.estimated_size_bytes() > asr.estimated_size_bytes()
+
+
+# ----------------------------------------------------------------------
+# Registry and size sanity across the family
+# ----------------------------------------------------------------------
+def test_registry_contains_all_family_members():
+    assert set(INDEX_TYPES) == {
+        "rootpaths",
+        "datapaths",
+        "edge",
+        "dataguide",
+        "index_fabric",
+        "asr",
+        "join_index",
+    }
+
+
+def test_every_index_reports_positive_size(book_xmldb):
+    for name, index_class in INDEX_TYPES.items():
+        index = index_class(stats=StatsCollector()).build(book_xmldb)
+        assert index.is_built
+        assert index.estimated_size_bytes() > 0, name
+        assert index.estimated_size_mb() == pytest.approx(
+            index.estimated_size_bytes() / (1024 * 1024)
+        )

@@ -1,0 +1,117 @@
+"""Unit and property tests for schema paths and pattern placement matching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.paths import (
+    PathPattern,
+    iter_rooted_label_paths,
+    match_positions,
+    matches,
+    matching_schema_paths,
+    reverse_path,
+)
+
+
+def test_reverse_path():
+    assert reverse_path(("book", "allauthors", "author", "fn")) == (
+        "fn",
+        "author",
+        "allauthors",
+        "book",
+    )
+    assert reverse_path(()) == ()
+
+
+def test_pattern_requires_segments():
+    with pytest.raises(ValueError):
+        PathPattern(())
+    with pytest.raises(ValueError):
+        PathPattern(((),))
+
+
+def test_pattern_properties():
+    pattern = PathPattern((("site",), ("item", "quantity")), anchored=True)
+    assert pattern.labels == ("site", "item", "quantity")
+    assert pattern.length == 3
+    assert not pattern.is_single_segment
+    assert pattern.trailing_segment == ("item", "quantity")
+
+
+def test_anchored_single_segment_requires_exact_path():
+    pattern = PathPattern((("book", "title"),), anchored=True)
+    assert matches(pattern, ("book", "title"))
+    assert not matches(pattern, ("site", "book", "title"))
+    assert not matches(pattern, ("book", "title", "extra"))
+
+
+def test_unanchored_single_segment_is_suffix_match():
+    pattern = PathPattern((("author", "fn"),), anchored=False)
+    assert matches(pattern, ("book", "allauthors", "author", "fn"))
+    assert matches(pattern, ("author", "fn"))
+    assert not matches(pattern, ("author", "fn", "x"))
+    assert not matches(pattern, ("book", "author", "ln"))
+
+
+def test_descendant_gap_allows_direct_child():
+    pattern = PathPattern((("book",), ("author",)), anchored=True)
+    # '//' includes direct children...
+    assert matches(pattern, ("book", "author"))
+    # ... and deeper descendants.
+    assert matches(pattern, ("book", "allauthors", "author"))
+    assert not matches(pattern, ("book", "allauthors", "editor"))
+
+
+def test_match_positions_reports_all_placements():
+    pattern = PathPattern((("a",), ("a", "b")), anchored=True)
+    placements = match_positions(pattern, ("a", "a", "a", "b"))
+    # The leading 'a' is fixed at 0, the trailing 'a b' is fixed at the end.
+    assert placements == [(0, 2, 3)]
+    ambiguous = PathPattern((("a",), ("b",)), anchored=False)
+    assert len(match_positions(ambiguous, ("a", "a", "b"))) == 2
+
+
+def test_match_positions_alignment_with_ids():
+    pattern = PathPattern((("book",), ("author", "fn")), anchored=True)
+    path = ("book", "allauthors", "author", "fn")
+    (placement,) = match_positions(pattern, path)
+    assert [path[i] for i in placement] == ["book", "author", "fn"]
+
+
+def test_matching_schema_paths_counts_recursive_fanout():
+    paths = [
+        ("site", "regions", region, "item", "location")
+        for region in ("namerica", "europe", "asia", "africa", "australia", "samerica")
+    ] + [("site", "people", "person", "name")]
+    pattern = PathPattern((("site",), ("item", "location")), anchored=True)
+    assert len(matching_schema_paths(pattern, paths)) == 6
+
+
+def test_iter_rooted_label_paths(book_xmldb):
+    pairs = list(iter_rooted_label_paths(book_xmldb))
+    assert (("book",), (1,)) in pairs
+    labels = {p for p, _ids in pairs}
+    assert ("book", "allauthors", "author", "fn") in labels
+    # One pair per structural node.
+    assert len(pairs) == book_xmldb.node_count
+
+
+label = st.sampled_from(["a", "b", "c", "d"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(label, min_size=1, max_size=7),
+    st.lists(st.lists(label, min_size=1, max_size=2), min_size=1, max_size=3),
+    st.booleans(),
+)
+def test_property_placements_are_valid(path, segments, anchored):
+    pattern = PathPattern(tuple(tuple(s) for s in segments), anchored=anchored)
+    for placement in match_positions(pattern, tuple(path)):
+        # Labels under the placement match the pattern labels.
+        assert tuple(path[i] for i in placement) == pattern.labels
+        # Positions strictly increase and the last one hits the path end.
+        assert list(placement) == sorted(set(placement))
+        assert placement[-1] == len(path) - 1
+        if anchored:
+            assert placement[0] == 0

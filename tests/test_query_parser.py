@@ -1,0 +1,100 @@
+"""Unit tests for the XPath-subset parser."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query import Axis, parse_xpath
+
+
+def test_simple_absolute_path():
+    twig = parse_xpath("/book/title")
+    assert twig.root.label == "book"
+    assert twig.root.axis is Axis.CHILD
+    assert twig.output.label == "title"
+    assert twig.is_absolute and twig.is_single_path and not twig.has_recursion
+
+
+def test_leading_descendant_axis():
+    twig = parse_xpath("//author/fn")
+    assert not twig.is_absolute
+    assert twig.root.axis is Axis.DESCENDANT
+    assert twig.output.label == "fn"
+
+
+def test_value_predicate_on_current_step():
+    twig = parse_xpath("/site/regions/namerica/item/quantity[. = '5']")
+    assert twig.output.label == "quantity"
+    assert twig.output.value == "5"
+    assert twig.branch_count == 1
+
+
+def test_paper_figure_1_query_structure():
+    twig = parse_xpath("/book[title='XML']//author[fn='jane' and ln='doe']")
+    assert twig.root.label == "book"
+    author = twig.output
+    assert author.label == "author"
+    assert author.axis is Axis.DESCENDANT
+    assert {child.label for child in author.children} == {"fn", "ln"}
+    assert {child.value for child in author.children} == {"jane", "doe"}
+    title = twig.root.children[0]
+    assert title.label == "title" and title.value == "XML"
+    assert twig.branch_count == 3
+    assert twig.has_recursion
+
+
+def test_attribute_steps_and_predicates():
+    twig = parse_xpath("/site[people/person/profile/@income = 46814.17]"
+                       "/open_auctions/open_auction[@increase = 75.00]")
+    income = twig.root.children[0].children[0].children[0].children[0]
+    assert income.label == "income" and income.is_attribute
+    assert income.value == "46814.17"
+    auction = twig.output
+    assert auction.label == "open_auction"
+    increase = auction.children[0]
+    assert increase.is_attribute and increase.value == "75.00"
+
+
+def test_curly_quotes_are_normalised():
+    twig = parse_xpath("/inproceedings/year[. = ’1950’ ]")
+    assert twig.output.value == "1950"
+
+
+def test_values_with_spaces_and_case():
+    twig = parse_xpath("//item[location = 'United States']")
+    assert twig.root.children[0].value == "United States"
+
+
+def test_predicate_with_descendant_step():
+    twig = parse_xpath("/site//item[incategory/category = 'category440']/mailbox/mail/date")
+    item = twig.root.children[0]
+    assert item.label == "item" and item.axis is Axis.DESCENDANT
+    assert twig.output.label == "date"
+    assert twig.branch_count == 2
+
+
+def test_existence_predicate_without_value():
+    twig = parse_xpath("//item[mailbox/mail/date]")
+    date = twig.root.children[0].children[0].children[0]
+    assert date.label == "date" and date.value is None
+
+
+def test_multiple_predicates_on_one_step():
+    twig = parse_xpath("//item[quantity = '2'][location = 'x']")
+    assert [c.label for c in twig.root.children] == ["quantity", "location"]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "book/title",           # must start with / or //
+        "/book[",
+        "/book[title=]",
+        "/book]",
+        "/book[title='x' or ln='y']",  # 'or' not in the fragment: parses 'or' as junk
+        "/bo ok",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(QueryParseError):
+        parse_xpath(bad)

@@ -1,0 +1,120 @@
+"""Tests for twig decomposition (PathQuery) and the naive matcher oracle."""
+
+import pytest
+
+from repro.datasets import FIGURE_1_QUERY
+from repro.query import NaiveMatcher, parse_xpath
+from repro.query.ast import Axis
+
+
+# ----------------------------------------------------------------------
+# TwigPattern structure and decomposition
+# ----------------------------------------------------------------------
+def test_branch_points_and_leaves():
+    twig = parse_xpath(FIGURE_1_QUERY)
+    assert [n.label for n in twig.branch_points()] == ["book", "author"]
+    assert sorted(n.label for n in twig.leaves()) == ["fn", "ln", "title"]
+    assert twig.branch_count == 3
+    assert [n.label for n in twig.output_path()] == ["book", "author"]
+    assert [n.label for n in twig.value_conditions()] == ["title", "fn", "ln"]
+
+
+def test_path_queries_cover_all_root_to_leaf_paths():
+    twig = parse_xpath(FIGURE_1_QUERY)
+    queries = twig.path_queries()
+    described = {q.describe() for q in queries}
+    assert described == {
+        "/book/title = 'XML'",
+        "/book//author/fn = 'jane'",
+        "/book//author/ln = 'doe'",
+    }
+
+
+def test_path_query_pattern_segments_and_anchoring():
+    twig = parse_xpath("/site//item[quantity='2']/mailbox/mail/to")
+    queries = {q.leaf.label: q for q in twig.path_queries()}
+    quantity = queries["quantity"]
+    assert quantity.pattern.segments == (("site",), ("item", "quantity"))
+    assert quantity.pattern.anchored
+    assert quantity.value == "2"
+    assert quantity.is_recursive
+    to = queries["to"]
+    assert to.pattern.segments == (("site",), ("item", "mailbox", "mail", "to"))
+    assert to.value is None
+
+
+def test_relative_query_is_not_anchored():
+    twig = parse_xpath("//author[fn='jane']")
+    (query,) = twig.path_queries()
+    assert not query.pattern.anchored
+    assert query.pattern.segments == (("author", "fn"),)
+
+
+def test_position_of_and_errors():
+    twig = parse_xpath("/a/b/c")
+    (query,) = twig.path_queries()
+    assert query.position_of(twig.output) == 2
+    other = parse_xpath("/x").root
+    with pytest.raises(ValueError):
+        query.position_of(other)
+
+
+def test_path_query_for_prefix_path():
+    twig = parse_xpath("/site/open_auctions/open_auction[bidder/@increase='3.00']/time")
+    trunk_prefix = twig.output_path()[:3]
+    query = twig.path_query_for(trunk_prefix)
+    assert query.pattern.labels == ("site", "open_auctions", "open_auction")
+    assert query.value is None
+
+
+# ----------------------------------------------------------------------
+# Naive matcher (the oracle)
+# ----------------------------------------------------------------------
+def test_figure_1_query_matches_jane_doe_only(book_db):
+    matcher = book_db.matcher()
+    twig = parse_xpath(FIGURE_1_QUERY)
+    nodes = matcher.match_nodes(twig)
+    assert len(nodes) == 1
+    author = nodes[0]
+    values = {c.first_value() for c in author.structural_children()}
+    assert values == {"jane", "doe"}
+
+
+def test_parent_child_vs_ancestor_descendant(book_db):
+    matcher = book_db.matcher()
+    # 'title' is a child of book and of chapter; the child axis from book
+    # only reaches the first, the descendant axis reaches both.
+    assert matcher.count_matches(parse_xpath("/book/title")) == 1
+    assert matcher.count_matches(parse_xpath("/book//title")) == 2
+
+
+def test_value_conditions_must_hold(book_db):
+    matcher = book_db.matcher()
+    assert matcher.count_matches(parse_xpath("//author[fn='jane']")) == 2
+    assert matcher.count_matches(parse_xpath("//author[fn='nobody']")) == 0
+    assert matcher.count_matches(parse_xpath("//author[fn='jane'][ln='doe']")) == 1
+
+
+def test_absolute_query_requires_document_root(book_db):
+    matcher = book_db.matcher()
+    assert matcher.count_matches(parse_xpath("/author")) == 0
+    assert matcher.count_matches(parse_xpath("//author")) == 3
+
+
+def test_branch_cardinalities_match_figure_7_style(book_db):
+    matcher = book_db.matcher()
+    twig = parse_xpath(FIGURE_1_QUERY)
+    assert matcher.branch_cardinalities(twig) == [1, 2, 2]
+
+
+def test_match_ids_are_sorted_and_stable(book_db):
+    matcher = book_db.matcher()
+    ids = matcher.match_ids(parse_xpath("//author"))
+    assert ids == sorted(ids)
+    assert matcher.match_ids(parse_xpath("//author")) == ids
+
+
+def test_attribute_condition_matching(xmark_small):
+    matcher = xmark_small.matcher()
+    twig = parse_xpath("/site/people/person[profile/@income='46814.17']")
+    assert matcher.count_matches(twig) == 1

@@ -1,0 +1,90 @@
+"""Unit tests for relational plan operators."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.relational import (
+    Distinct,
+    Filter,
+    HeapScan,
+    Limit,
+    Materialize,
+    Project,
+    RowSchema,
+    RowSource,
+    Sort,
+    column_equals,
+)
+from repro.storage import HeapFile, StatsCollector
+
+
+def source(rows, columns=("a", "b")):
+    return RowSource(columns, rows, stats=StatsCollector())
+
+
+def test_schema_position_and_project():
+    schema = RowSchema(("x", "y", "z"))
+    assert schema.position("y") == 1
+    assert schema.positions(["z", "x"]) == [2, 0]
+    assert tuple(schema.project(("z",))) == ("z",)
+    with pytest.raises(PlanningError):
+        schema.position("missing")
+    with pytest.raises(PlanningError):
+        RowSchema(("a", "a"))
+
+
+def test_schema_concat_renames_duplicates():
+    left = RowSchema(("id", "v"))
+    right = RowSchema(("id", "w"))
+    combined = left.concat(right)
+    assert combined.columns == ("id", "v", "id_r", "w")
+
+
+def test_row_source_and_project():
+    rows = [(1, "x"), (2, "y")]
+    plan = Project(source(rows), ["b"])
+    assert plan.rows() == [("x",), ("y",)]
+
+
+def test_filter_and_column_equals():
+    rows = [(1, "x"), (2, "y"), (2, "z")]
+    base = source(rows)
+    plan = Filter(base, column_equals(base.schema, "a", 2))
+    assert plan.rows() == [(2, "y"), (2, "z")]
+
+
+def test_distinct_preserves_first_seen_order():
+    plan = Distinct(source([(1, "x"), (1, "x"), (2, "y"), (1, "x")]))
+    assert plan.rows() == [(1, "x"), (2, "y")]
+
+
+def test_sort_and_limit():
+    rows = [(3, "c"), (1, "a"), (2, "b")]
+    plan = Limit(Sort(source(rows), ["a"]), 2)
+    assert plan.rows() == [(1, "a"), (2, "b")]
+
+
+def test_materialize_evaluates_child_once():
+    heap = HeapFile(stats=StatsCollector())
+    heap.extend([(i,) for i in range(5)])
+    stats = StatsCollector()
+    scan = HeapScan(heap, ("v",), stats=stats)
+    plan = Materialize(scan)
+    first = plan.rows()
+    pages_after_first = heap.stats.heap_page_reads
+    second = plan.rows()
+    assert first == second == [(i,) for i in range(5)]
+    assert heap.stats.heap_page_reads == pages_after_first
+
+
+def test_explain_mentions_every_operator():
+    plan = Distinct(Project(source([(1, "x")]), ["a"]))
+    text = plan.explain()
+    assert "Distinct" in text and "Project" in text and "RowSource" in text
+
+
+def test_tuples_produced_counter():
+    stats = StatsCollector()
+    plan = RowSource(("a",), [(1,), (2,)], stats=stats)
+    list(plan)
+    assert stats.tuples_produced == 2

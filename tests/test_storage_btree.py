@@ -1,0 +1,150 @@
+"""Unit and property tests for the B+-tree access method."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import BPlusTree, StatsCollector, encode_key
+
+
+def make_tree(order=8, stats=None):
+    return BPlusTree(order=order, stats=stats or StatsCollector())
+
+
+def test_order_must_be_reasonable():
+    with pytest.raises(StorageError):
+        BPlusTree(order=2)
+
+
+def test_insert_and_exact_search():
+    tree = make_tree()
+    for i in range(100):
+        tree.insert(encode_key((i,)), f"v{i}")
+    assert len(tree) == 100
+    assert tree.search(encode_key((42,))) == ["v42"]
+    assert tree.search(encode_key((1000,))) == []
+
+
+def test_duplicate_keys_are_all_returned():
+    tree = make_tree(order=4)
+    for i in range(50):
+        tree.insert(encode_key(("dup",)), i)
+    tree.insert(encode_key(("other",)), "x")
+    assert sorted(tree.search(encode_key(("dup",)))) == list(range(50))
+
+
+def test_duplicates_spanning_many_leaves_found_from_first():
+    """Regression test: reads must descend to the *first* duplicate."""
+    tree = make_tree(order=4)
+    for i in range(200):
+        tree.insert(encode_key(("k", i % 3)), i)
+    found = tree.search(encode_key(("k", 1)))
+    assert sorted(found) == [i for i in range(200) if i % 3 == 1]
+
+
+def test_prefix_scan_returns_exactly_prefixed_entries():
+    tree = make_tree(order=6)
+    for value in ("jane", "john", None):
+        for path in ((5, 4), (5, 9), (7, 4)):
+            tree.insert(encode_key((value, *path)), (value, path))
+    results = [payload for _k, payload in tree.scan_prefix(encode_key(("jane", 5)))]
+    assert sorted(results) == [("jane", (5, 4)), ("jane", (5, 9))]
+    # None (NULL leaf value) is a distinct prefix.
+    none_results = list(tree.scan_prefix(encode_key((None,))))
+    assert len(none_results) == 3
+
+
+def test_scan_range_and_scan_all():
+    tree = make_tree(order=5)
+    for i in range(40):
+        tree.insert(encode_key((i,)), i)
+    ranged = [v for _k, v in tree.scan_range(encode_key((10,)), encode_key((20,)))]
+    assert ranged == list(range(10, 20))
+    inclusive = [v for _k, v in tree.scan_range(encode_key((10,)), encode_key((20,)), include_high=True)]
+    assert inclusive == list(range(10, 21))
+    assert [v for _k, v in tree.scan_all()] == list(range(40))
+
+
+def test_delete_specific_value_and_all():
+    tree = make_tree(order=4)
+    for i in range(30):
+        tree.insert(encode_key(("k",)), i)
+    removed = tree.delete(encode_key(("k",)), value=7)
+    assert removed == 1
+    assert 7 not in tree.search(encode_key(("k",)))
+    removed_all = tree.delete(encode_key(("k",)))
+    assert removed_all == 29
+    assert tree.search(encode_key(("k",))) == []
+    assert len(tree) == 0
+
+
+def test_stats_count_node_reads_and_lookups():
+    stats = StatsCollector()
+    tree = make_tree(order=4, stats=stats)
+    for i in range(200):
+        tree.insert(encode_key((i,)), i)
+    stats.reset()
+    tree.search(encode_key((150,)))
+    assert stats.index_lookups == 1
+    assert stats.btree_node_reads >= tree.height
+    assert stats.btree_entries_scanned >= 1
+
+
+def test_count_prefix():
+    tree = make_tree()
+    for i in range(10):
+        tree.insert(encode_key(("a", i)), i)
+        tree.insert(encode_key(("b", i)), i)
+    assert tree.count_prefix(encode_key(("a",))) == 10
+
+
+def test_estimated_size_with_and_without_prefix_compression():
+    tree = make_tree(order=16)
+    for i in range(500):
+        tree.insert(encode_key(("shared-prefix", i)), i)
+    raw = tree.estimated_size_bytes(prefix_compression=False)
+    compressed = tree.estimated_size_bytes(prefix_compression=True)
+    assert 0 < compressed < raw
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=5)),
+        max_size=300,
+    ),
+    st.integers(min_value=4, max_value=32),
+)
+def test_against_sorted_list_reference(pairs, order):
+    """Property: search and ordered iteration agree with a sorted list."""
+    tree = BPlusTree(order=order, stats=StatsCollector())
+    reference: list[tuple] = []
+    for first, second in pairs:
+        key = encode_key((first, second))
+        tree.insert(key, (first, second))
+        reference.append((key, (first, second)))
+    reference.sort(key=lambda kv: kv[0])
+    assert [v for _k, v in tree.scan_all()] == [v for _k, v in reference]
+    for probe in {p[0] for p in pairs} | {99}:
+        prefix = encode_key((probe,))
+        expected = sorted(v for k, v in reference if k[: len(prefix)] == prefix)
+        got = sorted(v for _k, v in tree.scan_prefix(prefix))
+        assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=400))
+def test_height_stays_logarithmic(values):
+    tree = BPlusTree(order=8, stats=StatsCollector())
+    for value in values:
+        tree.insert(encode_key((value,)), value)
+    # A generous logarithmic bound: order-8 tree of n entries.
+    n = len(values)
+    bound = 2
+    capacity = 8
+    while capacity < n:
+        capacity *= 4
+        bound += 1
+    assert tree.height <= bound

@@ -1,0 +1,61 @@
+"""Unit tests for heap files and the stats collector."""
+
+from repro.storage import GLOBAL_STATS, HeapFile, StatsCollector
+
+
+def test_heap_append_and_scan_counts_pages():
+    stats = StatsCollector()
+    heap = HeapFile(rows_per_page=4, stats=stats, name="t")
+    for i in range(10):
+        heap.append((i, f"row{i}"))
+    assert len(heap) == 10
+    assert heap.page_count == 3
+    stats.reset()
+    rows = list(heap.scan())
+    assert rows[0] == (0, "row0") and len(rows) == 10
+    assert stats.heap_page_reads == 3
+
+
+def test_heap_fetch_by_row_id():
+    stats = StatsCollector()
+    heap = HeapFile(rows_per_page=2, stats=stats)
+    row_ids = [heap.append((i,)) for i in range(5)]
+    assert heap.fetch(row_ids[3]) == (3,)
+    assert stats.heap_page_reads == 1
+
+
+def test_heap_extend_and_size_estimate():
+    heap = HeapFile(rows_per_page=8, stats=StatsCollector())
+    heap.extend([(i, "x" * i, None) for i in range(20)])
+    assert len(heap) == 20
+    assert heap.estimated_size_bytes() > 20
+
+
+def test_stats_snapshot_diff_and_measure():
+    stats = StatsCollector()
+    stats.btree_node_reads = 5
+    snap = stats.snapshot()
+    stats.btree_node_reads += 3
+    stats.heap_page_reads += 2
+    diff = stats.diff(snap)
+    assert diff["btree_node_reads"] == 3
+    assert diff["heap_page_reads"] == 2
+    with stats.measure() as window:
+        stats.join_probes += 7
+    assert window["join_probes"] == 7
+
+
+def test_stats_totals_and_addition():
+    a = StatsCollector(btree_node_reads=2, heap_page_reads=3, join_probes=1)
+    b = StatsCollector(btree_entries_scanned=4)
+    combined = a + b
+    assert combined.btree_node_reads == 2
+    assert combined.btree_entries_scanned == 4
+    assert a.total_logical_io() == 5
+    assert a.total_cost() == 10 * 5 + 1
+    a.reset()
+    assert a.total_logical_io() == 0
+
+
+def test_global_stats_exists():
+    assert isinstance(GLOBAL_STATS, StatsCollector)

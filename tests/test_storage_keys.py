@@ -1,0 +1,70 @@
+"""Unit and property tests for key encoding (repro.storage.keys)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KeyEncodingError
+from repro.storage.keys import (
+    decode_key,
+    encode_component,
+    encode_key,
+    is_prefix,
+    key_byte_size,
+)
+
+component = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=12),
+)
+
+
+def test_encode_orders_none_before_numbers_before_strings():
+    assert encode_component(None) < encode_component(0) < encode_component("a")
+    assert encode_component(-5) < encode_component(3)
+    assert encode_component("a") < encode_component("b")
+
+
+def test_booleans_are_rejected():
+    with pytest.raises(KeyEncodingError):
+        encode_component(True)
+    with pytest.raises(KeyEncodingError):
+        encode_key(["x", False])
+
+
+def test_unsupported_types_are_rejected():
+    with pytest.raises(KeyEncodingError):
+        encode_component(object())
+
+
+@given(st.lists(component, max_size=6))
+def test_encode_decode_round_trip(components):
+    assert decode_key(encode_key(components)) == tuple(components)
+
+
+@given(st.lists(component, max_size=5), st.lists(component, max_size=3))
+def test_prefix_detection(components, suffix):
+    prefix = encode_key(components)
+    full = encode_key(list(components) + list(suffix))
+    assert is_prefix(prefix, full)
+    if suffix:
+        assert not is_prefix(full, prefix)
+
+
+@given(st.lists(component, min_size=1, max_size=6), st.lists(component, min_size=1, max_size=6))
+def test_encoding_preserves_prefix_grouping(a, b):
+    """Keys sharing a prefix sort contiguously: anything between two keys
+    with prefix P also has prefix P (the property prefix scans rely on)."""
+    pa = encode_key(a)
+    pb = encode_key(b)
+    low, high = sorted((pa + ((1, 0),), pa + ((1, 10),)))
+    if low <= pb <= high:
+        assert is_prefix(pa, pb) or pb == pa
+
+
+def test_key_byte_size_model():
+    assert key_byte_size([None]) == 1
+    assert key_byte_size([7]) == 4
+    assert key_byte_size([1.5]) == 8
+    assert key_byte_size(["abc"]) == 4
+    assert key_byte_size(["abc", 7, None]) == 9

@@ -1,0 +1,158 @@
+"""Integration tests: every evaluation strategy must agree with the oracle.
+
+This is the core correctness property of the reproduction — Section 2.1
+defines what a twig match is; the naive matcher implements it directly;
+and each of the seven index-based strategies must return exactly the
+same output-node ids on every query it supports.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TwigIndexDatabase
+from repro.datasets import FIGURE_1_QUERY, book_document
+from repro.planner import DEFAULT_STRATEGIES
+from repro.query import parse_xpath
+from repro.workloads import ALL_QUERIES, queries_for_dataset
+from repro.xmltree import Document, Node, NodeKind
+
+BOOK_QUERIES = [
+    FIGURE_1_QUERY,
+    "/book/title",
+    "/book//title",
+    "//author[fn='jane']",
+    "//author[fn='jane' and ln='doe']",
+    "/book/allauthors/author[ln='doe']",
+    "/book[title='XML']/year",
+    "/book[allauthors/author/fn='john']//section/head",
+    "//chapter/section/head",
+    "//ln",
+    "/book",
+    "/book[year='1999']",          # empty result
+    "//author[fn='jane']/ln",
+    "/book[title='XML'][chapter/title='XML']//author[ln='poe']",
+]
+
+
+@pytest.fixture(scope="module")
+def book_engine():
+    database = TwigIndexDatabase.from_documents([book_document()])
+    database.build_all_indexes()
+    return database
+
+
+@pytest.mark.parametrize("xpath", BOOK_QUERIES)
+@pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+def test_book_queries_match_oracle(book_engine, strategy, xpath):
+    expected = book_engine.oracle(xpath)
+    result = book_engine.query(xpath, strategy=strategy)
+    assert result.ids == expected, f"{strategy} disagrees on {xpath}"
+
+
+@pytest.fixture(scope="module")
+def xmark_engine():
+    from repro.datasets import generate_xmark
+
+    database = TwigIndexDatabase.from_documents([generate_xmark(scale=0.05, seed=3)])
+    database.build_all_indexes()
+    return database
+
+
+@pytest.fixture(scope="module")
+def dblp_engine():
+    from repro.datasets import generate_dblp
+
+    database = TwigIndexDatabase.from_documents([generate_dblp(scale=0.05, seed=3)])
+    database.build_all_indexes()
+    return database
+
+
+@pytest.mark.parametrize("workload_query", queries_for_dataset("xmark"), ids=lambda q: q.qid)
+@pytest.mark.parametrize("strategy", ("rootpaths", "datapaths", "asr", "join_index"))
+def test_xmark_workload_matches_oracle(xmark_engine, strategy, workload_query):
+    expected = xmark_engine.oracle(workload_query.xpath)
+    result = xmark_engine.query(workload_query.xpath, strategy=strategy)
+    assert result.ids == expected, f"{strategy} disagrees on {workload_query.qid}"
+
+
+@pytest.mark.parametrize(
+    "workload_query",
+    [q for q in queries_for_dataset("xmark") if q.recursions == 0],
+    ids=lambda q: q.qid,
+)
+@pytest.mark.parametrize("strategy", ("edge", "dataguide_edge", "index_fabric_edge"))
+def test_xmark_nonrecursive_workload_edge_strategies(xmark_engine, strategy, workload_query):
+    expected = xmark_engine.oracle(workload_query.xpath)
+    result = xmark_engine.query(workload_query.xpath, strategy=strategy)
+    assert result.ids == expected, f"{strategy} disagrees on {workload_query.qid}"
+
+
+@pytest.mark.parametrize("workload_query", queries_for_dataset("dblp"), ids=lambda q: q.qid)
+@pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+def test_dblp_workload_matches_oracle(dblp_engine, strategy, workload_query):
+    expected = dblp_engine.oracle(workload_query.xpath)
+    result = dblp_engine.query(workload_query.xpath, strategy=strategy)
+    assert result.ids == expected, f"{strategy} disagrees on {workload_query.qid}"
+
+
+def test_datapaths_forced_plans_agree(xmark_engine):
+    for workload_query in queries_for_dataset("xmark"):
+        expected = xmark_engine.oracle(workload_query.xpath)
+        merge = xmark_engine.query(workload_query.xpath, strategy="datapaths", force_plan="merge")
+        inl = xmark_engine.query(workload_query.xpath, strategy="datapaths", force_plan="inl")
+        assert merge.ids == expected
+        assert inl.ids == expected
+
+
+# ----------------------------------------------------------------------
+# Property test: random small trees, random twigs, all strategies agree.
+# ----------------------------------------------------------------------
+LABELS = ("a", "b", "c")
+VALUES = ("x", "y")
+
+
+def _random_tree(draw) -> Document:
+    node_budget = draw(st.integers(min_value=3, max_value=18))
+    rng_choices = st.integers(min_value=0, max_value=10**6)
+
+    root = Node(NodeKind.ELEMENT, "r")
+    frontier = [root]
+    for _ in range(node_budget):
+        parent = frontier[draw(rng_choices) % len(frontier)]
+        if parent.depth >= 4:
+            parent = root
+        label = LABELS[draw(rng_choices) % len(LABELS)]
+        child = parent.add_child(Node(NodeKind.ELEMENT, label))
+        if draw(st.booleans()):
+            child.add_child(Node(NodeKind.VALUE, VALUES[draw(rng_choices) % len(VALUES)]))
+        frontier.append(child)
+    return Document(root, name="random")
+
+
+def _random_query(draw) -> str:
+    rng_choices = st.integers(min_value=0, max_value=10**6)
+    start = "/r" if draw(st.booleans()) else "//" + LABELS[draw(rng_choices) % 3]
+    steps = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        axis = "//" if draw(st.booleans()) else "/"
+        steps.append(axis + LABELS[draw(rng_choices) % 3])
+    predicates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        label = LABELS[draw(rng_choices) % 3]
+        if draw(st.booleans()):
+            predicates.append(f"[{label}='{VALUES[draw(rng_choices) % 2]}']")
+        else:
+            predicates.append(f"[{label}]")
+    return start + "".join(steps) + "".join(predicates)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_all_strategies_agree_on_random_trees(data):
+    document = _random_tree(data.draw)
+    query = _random_query(data.draw)
+    database = TwigIndexDatabase.from_documents([document])
+    expected = database.oracle(query)
+    for strategy in DEFAULT_STRATEGIES:
+        result = database.query(query, strategy=strategy)
+        assert result.ids == expected, f"{strategy} disagrees on {query}"

@@ -1,0 +1,66 @@
+"""Unit tests for the tag dictionary / designator encoding."""
+
+from hypothesis import given, strategies as st
+
+from repro.xmltree.dictionary import TagDictionary
+
+
+def test_intern_is_stable_and_dense():
+    tags = TagDictionary()
+    first = tags.intern("book")
+    second = tags.intern("title")
+    assert first == 1 and second == 2
+    assert tags.intern("book") == first
+    assert len(tags) == 2
+    assert "book" in tags and "missing" not in tags
+
+
+def test_id_of_unknown_tag_is_none():
+    tags = TagDictionary()
+    assert tags.id_of("nope") is None
+    tags.intern("a")
+    assert tags.id_of("a") == 1
+    assert tags.tag_of(1) == "a"
+
+
+def test_designators_are_unique_for_many_tags():
+    tags = TagDictionary()
+    names = [f"tag{i}" for i in range(200)]
+    designators = [tags.designator(name) for name in names]
+    assert len(set(designators)) == len(names)
+    # The first tags get single characters, exactly like the paper's figures.
+    assert len(designators[0]) == 1
+    assert any(len(d) > 1 for d in designators)
+
+
+def test_encode_path_matches_figure_style():
+    tags = TagDictionary()
+    for tag in ("book", "title", "allauthors", "author", "fn", "ln"):
+        tags.intern(tag)
+    encoded = tags.encode_path(("book", "allauthors", "author", "fn"))
+    assert len(encoded) == 4
+    assert encoded[0] == tags.designator("book")
+
+
+def test_path_ids_round_trip():
+    tags = TagDictionary()
+    path = ("site", "regions", "namerica", "item")
+    ids = tags.path_ids(path)
+    assert tags.decode_path_ids(ids) == list(path)
+
+
+@given(st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=6), min_size=1, max_size=30))
+def test_intern_all_round_trips(names):
+    tags = TagDictionary()
+    ids = tags.intern_all(names)
+    assert [tags.tag_of(i) for i in ids] == names
+    # Interning again yields the same ids.
+    assert tags.intern_all(names) == ids
+
+
+def test_estimated_size_grows_with_tags():
+    tags = TagDictionary()
+    empty = tags.estimated_size_bytes()
+    tags.intern("alpha")
+    tags.intern("beta")
+    assert tags.estimated_size_bytes() > empty

@@ -1,0 +1,93 @@
+"""Unit tests for documents, databases and the TreeBuilder."""
+
+import pytest
+
+from repro.datasets import book_document, build_book_with_builder
+from repro.errors import DocumentError
+from repro.xmltree import (
+    Document,
+    Node,
+    NodeKind,
+    TreeBuilder,
+    VIRTUAL_ROOT_ID,
+    XmlDatabase,
+    build_database,
+)
+
+
+def test_document_rejects_value_root():
+    with pytest.raises(DocumentError):
+        Document(Node(NodeKind.VALUE, "x"))
+
+
+def test_database_assigns_document_order_ids(book_xmldb):
+    ids = [n.node_id for n in book_xmldb.iter_nodes()]
+    assert ids == sorted(ids)
+    assert ids[0] == 1
+    # Ids are unique and dense.
+    assert len(set(ids)) == len(ids)
+
+
+def test_database_node_lookup(book_xmldb):
+    root = book_xmldb.documents[0].root
+    assert book_xmldb.node(root.node_id) is root
+    assert root.node_id in book_xmldb
+    with pytest.raises(DocumentError):
+        book_xmldb.node(10_000)
+
+
+def test_virtual_root_parents_documents(book_xmldb):
+    root = book_xmldb.documents[0].root
+    assert root.parent is book_xmldb.virtual_root
+    assert book_xmldb.virtual_root.node_id == VIRTUAL_ROOT_ID
+
+
+def test_counts_and_depth(book_xmldb):
+    assert book_xmldb.node_count == 17
+    assert book_xmldb.value_count == 10
+    assert book_xmldb.max_depth == 4
+    counts = book_xmldb.label_counts()
+    assert counts["author"] == 3
+    assert counts["title"] == 2
+    assert book_xmldb.distinct_schema_path_count() == 11
+
+
+def test_multiple_documents_share_id_space():
+    db = build_database([book_document("a"), book_document("b")])
+    ids = [n.node_id for n in db.iter_structural()]
+    assert len(ids) == len(set(ids)) == 34
+    assert len(db.documents) == 2
+
+
+def test_iter_by_label(book_xmldb):
+    authors = list(book_xmldb.iter_by_label("author"))
+    assert len(authors) == 3
+    assert all(a.label == "author" for a in authors)
+
+
+def test_tree_builder_matches_parsed_document():
+    parsed = book_document()
+    built = build_book_with_builder()
+    parsed_labels = [
+        (n.kind, n.label) for n in parsed.root.iter_subtree()
+    ]
+    built_labels = [(n.kind, n.label) for n in built.root.iter_subtree()]
+    assert parsed_labels == built_labels
+
+
+def test_tree_builder_attributes_and_text():
+    builder = TreeBuilder("person")
+    builder.attribute("id", "p1")
+    builder.child("name", text="Ada")
+    with builder.element("profile"):
+        builder.text("freeform")
+    document = builder.build("person-doc")
+    labels = [(n.kind.value, n.label) for n in document.root.iter_subtree()]
+    assert ("attribute", "id") in labels
+    assert ("value", "p1") in labels
+    assert ("value", "freeform") in labels
+    assert document.name == "person-doc"
+
+
+def test_estimated_data_size_positive(book_xmldb):
+    assert book_xmldb.estimated_data_size_bytes() > 100

@@ -1,0 +1,69 @@
+"""Unit tests for the node model (repro.xmltree.nodes)."""
+
+from repro.xmltree.nodes import Node, NodeKind
+
+
+def _small_tree() -> Node:
+    root = Node(NodeKind.ELEMENT, "book")
+    title = root.add_child(Node(NodeKind.ELEMENT, "title"))
+    title.add_child(Node(NodeKind.VALUE, "XML"))
+    author = root.add_child(Node(NodeKind.ELEMENT, "author"))
+    fn = author.add_child(Node(NodeKind.ELEMENT, "fn"))
+    fn.add_child(Node(NodeKind.VALUE, "jane"))
+    return root
+
+
+def test_kind_predicates():
+    element = Node(NodeKind.ELEMENT, "a")
+    attribute = Node(NodeKind.ATTRIBUTE, "id")
+    value = Node(NodeKind.VALUE, "x")
+    assert element.is_element and element.is_structural and not element.is_value
+    assert attribute.is_attribute and attribute.is_structural
+    assert value.is_value and not value.is_structural
+
+
+def test_add_child_sets_parent_and_depth():
+    root = Node(NodeKind.ELEMENT, "a")
+    child = root.add_child(Node(NodeKind.ELEMENT, "b"))
+    grandchild = child.add_child(Node(NodeKind.ELEMENT, "c"))
+    assert child.parent is root
+    assert grandchild.depth == root.depth + 2
+
+
+def test_structural_and_value_children():
+    root = _small_tree()
+    title = root.children[0]
+    assert [c.label for c in root.structural_children()] == ["title", "author"]
+    assert title.value_children()[0].label == "XML"
+    assert title.first_value() == "XML"
+    assert root.first_value() is None
+
+
+def test_iter_subtree_is_document_order():
+    root = _small_tree()
+    labels = [n.label for n in root.iter_subtree()]
+    assert labels == ["book", "title", "XML", "author", "fn", "jane"]
+
+
+def test_ancestors_and_root_path():
+    root = _small_tree()
+    fn = root.children[1].children[0]
+    assert [a.label for a in fn.ancestors()] == ["author", "book"]
+    assert fn.root_path_labels() == ["book", "author", "fn"]
+
+
+def test_is_descendant_of():
+    root = _small_tree()
+    author = root.children[1]
+    fn = author.children[0]
+    assert fn.is_descendant_of(root)
+    assert fn.is_descendant_of(author)
+    assert not author.is_descendant_of(fn)
+    assert not root.is_descendant_of(root)
+
+
+def test_nodes_hash_by_identity():
+    a = Node(NodeKind.ELEMENT, "x")
+    b = Node(NodeKind.ELEMENT, "x")
+    assert a != b
+    assert len({a, b}) == 2

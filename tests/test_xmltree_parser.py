@@ -1,0 +1,67 @@
+"""Unit tests for XML parsing and serialization."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmltree import parse_string, serialize
+from repro.xmltree.nodes import NodeKind
+
+
+def test_parse_simple_document():
+    document = parse_string("<a><b>hi</b><c x='1'/></a>", name="t")
+    root = document.root
+    assert root.label == "a"
+    b, c = root.structural_children()
+    assert b.first_value() == "hi"
+    attribute = c.structural_children()[0]
+    assert attribute.kind is NodeKind.ATTRIBUTE
+    assert attribute.label == "x"
+    assert attribute.first_value() == "1"
+
+
+def test_parse_strips_namespace_prefixes():
+    document = parse_string('<a xmlns="urn:x"><b>v</b></a>')
+    assert document.root.label == "a"
+    assert document.root.structural_children()[0].label == "b"
+
+
+def test_parse_ignores_whitespace_only_text():
+    document = parse_string("<a>\n  <b>x</b>\n</a>")
+    kinds = [n.kind for n in document.root.iter_subtree()]
+    assert kinds.count(NodeKind.VALUE) == 1
+
+
+def test_parse_keeps_mixed_tail_text():
+    document = parse_string("<a><b>x</b>tail</a>")
+    values = [n.label for n in document.root.iter_subtree() if n.is_value]
+    assert values == ["x", "tail"]
+
+
+def test_parse_error_raises_library_exception():
+    with pytest.raises(XmlParseError):
+        parse_string("<a><b></a>")
+    with pytest.raises(XmlParseError):
+        parse_string("")
+
+
+def test_serialize_round_trip_structure():
+    text = "<book><title>XML</title><author><fn>jane</fn></author></book>"
+    document = parse_string(text)
+    serialized = serialize(document)
+    reparsed = parse_string(serialized)
+    original = [(n.kind, n.label) for n in document.root.iter_subtree()]
+    round_tripped = [(n.kind, n.label) for n in reparsed.root.iter_subtree()]
+    assert original == round_tripped
+
+
+def test_serialize_escapes_special_characters():
+    document = parse_string("<a><b>x &amp; y &lt; z</b></a>")
+    serialized = serialize(document)
+    assert "&amp;" in serialized and "&lt;" in serialized
+    assert parse_string(serialized).root.structural_children()[0].first_value() == "x & y < z"
+
+
+def test_serialize_renders_attributes():
+    document = parse_string('<a id="1"><b/></a>')
+    serialized = serialize(document)
+    assert 'id="1"' in serialized
