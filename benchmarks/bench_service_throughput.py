@@ -1,0 +1,144 @@
+"""Service layer — batched/cached serving vs per-query execution.
+
+A serving workload repeats a small set of queries many times (the shape
+of the paper's Figures 11–13 benches, and of any real query server).
+Per-query :meth:`TwigQueryEngine.execute` re-parses the XPath, re-checks
+index availability and builds a fresh strategy object every time; the
+:class:`~repro.service.QueryService` amortises all of that through its
+plan cache, reusable strategy instances and result cache.
+
+Asserted shape:
+
+* the batched/cached path is at least 2x faster than per-query
+  execution on a repeated-query workload,
+* ``strategy="auto"`` never exceeds the best fixed strategy's weighted
+  cost by more than 10% on the Figure 12 twig workload (the fig12
+  suite separately pins RP/DP as the overall winners there).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.service import QueryService
+from repro.workloads import query
+
+from conftest import FAST_STRATEGIES
+
+#: The repeated-query serving workload: every XMark query of Figures 11
+#: and 12, round-robin.
+SERVED_QUERIES = ("Q1x", "Q2x", "Q3x", "Q4x", "Q5x", "Q6x", "Q7x", "Q8x", "Q9x", "Q10x", "Q11x")
+REPEATS = 20
+
+FIG12_QUERIES = ("Q4x", "Q5x", "Q6x", "Q7x", "Q8x", "Q9x", "Q10x", "Q11x")
+
+
+def _workload() -> list[str]:
+    return [query(qid).xpath for _ in range(REPEATS) for qid in SERVED_QUERIES]
+
+
+@pytest.fixture(scope="module")
+def throughput(xmark_context):
+    database = xmark_context.database
+    workload = _workload()
+
+    started = time.perf_counter()
+    for xpath in workload:
+        database.engine.execute(xpath, strategy="rootpaths")
+    per_query_seconds = time.perf_counter() - started
+
+    service = QueryService(database.engine)  # fresh caches
+    started = time.perf_counter()
+    batch = service.execute_batch(workload, strategy="auto")
+    batched_seconds = time.perf_counter() - started
+
+    queries_per_second = len(workload) / batched_seconds
+    print()
+    print(
+        format_table(
+            ["path", "seconds", "queries/s"],
+            [
+                ["per-query execute", f"{per_query_seconds:.3f}",
+                 f"{len(workload) / per_query_seconds:.0f}"],
+                ["batched + cached", f"{batched_seconds:.3f}", f"{queries_per_second:.0f}"],
+            ],
+            title=f"Service throughput — {len(workload)} queries "
+            f"({len(SERVED_QUERIES)} distinct x {REPEATS})",
+        )
+    )
+    print("service counters:", service.describe())
+    return {
+        "per_query_seconds": per_query_seconds,
+        "batched_seconds": batched_seconds,
+        "batch": batch,
+        "service": service,
+    }
+
+
+def test_batched_cached_at_least_2x_faster(throughput):
+    assert throughput["per_query_seconds"] >= 2 * throughput["batched_seconds"], (
+        f"batched path {throughput['batched_seconds']:.3f}s not 2x faster than "
+        f"per-query {throughput['per_query_seconds']:.3f}s"
+    )
+
+
+def test_batch_answers_are_correct_and_cached(throughput, xmark_context):
+    batch = throughput["batch"]
+    expected = {
+        query(qid).xpath: xmark_context.database.oracle(query(qid).xpath)
+        for qid in SERVED_QUERIES
+    }
+    for result in batch:
+        assert result.ids == expected[result.xpath], result.xpath
+    # Only the first round misses; every repeat hits the result cache.
+    assert batch.cache_misses == len(SERVED_QUERIES)
+    assert batch.cache_hits == len(SERVED_QUERIES) * (REPEATS - 1)
+
+
+def test_auto_within_10pct_of_best_fixed_strategy(xmark_context):
+    database = xmark_context.database
+    rows = []
+    for qid in FIG12_QUERIES:
+        xpath = query(qid).xpath
+        fixed_costs = {
+            strategy: database.engine.execute(xpath, strategy=strategy).total_cost
+            for strategy in FAST_STRATEGIES
+        }
+        auto = database.query(xpath, strategy="auto")
+        assert auto.ids == database.oracle(xpath), qid
+        best = min(fixed_costs.values())
+        rows.append([qid, auto.strategy, auto.total_cost, best])
+        assert auto.total_cost <= 1.1 * best + 1, (
+            f"{qid}: auto({auto.strategy})={auto.total_cost} "
+            f"vs best fixed={best} ({fixed_costs})"
+        )
+    print()
+    print(
+        format_table(
+            ["query", "auto picked", "auto cost", "best fixed cost"],
+            rows,
+            title="Figure 12 — auto strategy vs best fixed strategy",
+        )
+    )
+
+
+def test_auto_picks_inl_on_low_branch_points(xmark_context):
+    # Figure 12(d): DP's index-nested-loop plan wins at low branch
+    # points; auto must follow the optimizer there.
+    database = xmark_context.database
+    service = database.service
+    for qid in ("Q10x", "Q11x"):
+        choice = service.choose(query(qid).xpath)
+        assert choice.strategy == "datapaths", (qid, str(choice))
+        assert choice.datapaths_plan is not None
+        assert choice.datapaths_plan.plan == "inl", (qid, str(choice.datapaths_plan))
+
+
+def test_service_benchmark_cached_execute(benchmark, xmark_context):
+    service = QueryService(xmark_context.database.engine)
+    xpath = query("Q4x").xpath
+    service.execute(xpath, strategy="auto")  # warm the caches
+    benchmark(lambda: service.execute(xpath, strategy="auto"))

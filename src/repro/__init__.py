@@ -28,13 +28,16 @@ from .errors import (
     XmlParseError,
 )
 from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
-from .query.parser import parse_xpath
+from .query.parser import normalize_xpath, parse_xpath
+from .service import AUTO_STRATEGY, BatchResult, QueryService
 from .xmltree.document import Document, TreeBuilder, XmlDatabase
 from .xmltree.parser import parse_file, parse_string
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AUTO_STRATEGY",
+    "BatchResult",
     "DEFAULT_STRATEGIES",
     "Document",
     "DocumentError",
@@ -42,6 +45,7 @@ __all__ = [
     "QueryNotSupportedError",
     "QueryParseError",
     "QueryResult",
+    "QueryService",
     "ReproError",
     "StorageError",
     "TreeBuilder",
@@ -50,6 +54,7 @@ __all__ = [
     "UnsupportedLookupError",
     "XmlDatabase",
     "XmlParseError",
+    "normalize_xpath",
     "parse_file",
     "parse_string",
     "parse_xpath",

@@ -12,6 +12,17 @@ and costs — is a handful of lines:
 >>> db.build_index("rootpaths")
 >>> db.query("/book/title", strategy="rootpaths").ids
 [2]
+
+For serving workloads, the attached :class:`~repro.service.QueryService`
+caches parsed plans and results, reuses strategy instances and picks the
+cheapest strategy per query (``strategy="auto"``); batches run under one
+shared stats snapshot:
+
+>>> batch = db.execute_batch(["/book/title", "/book/title"])
+>>> [result.ids for result in batch]
+[[2], [2]]
+>>> batch.cache_hits  # the repeat was served from the result cache
+1
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
 from .query.match import NaiveMatcher
 from .query.parser import parse_xpath
 from .query.twig import TwigPattern
+from .service import AUTO_STRATEGY, BatchResult, QueryService
 from .storage.stats import StatsCollector
 from .xmltree.document import Document, XmlDatabase
 from .xmltree.parser import parse_file, parse_string
@@ -34,6 +46,7 @@ class TwigIndexDatabase:
         self.db = db if db is not None else XmlDatabase()
         self.stats = StatsCollector()
         self.engine = TwigQueryEngine(self.db, stats=self.stats)
+        self.service = QueryService(self.engine)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -55,19 +68,17 @@ class TwigIndexDatabase:
 
     def load_xml(self, text: str, name: str = "") -> Document:
         """Parse and add one XML document."""
-        document = parse_string(text, name=name)
-        self.db.add_document(document)
-        return document
+        return self.add_document(parse_string(text, name=name))
 
     def load_file(self, path: str, name: str = "") -> Document:
         """Parse and add one XML file."""
-        document = parse_file(path, name=name or path)
-        self.db.add_document(document)
-        return document
+        return self.add_document(parse_file(path, name=name or path))
 
     def add_document(self, document: Document) -> Document:
-        """Add an already-parsed document."""
-        return self.db.add_document(document)
+        """Add an already-parsed document (drops cached query results)."""
+        added = self.db.add_document(document)
+        self.service.invalidate()
+        return added
 
     # ------------------------------------------------------------------
     # Indexing
@@ -77,8 +88,11 @@ class TwigIndexDatabase:
 
         Known names: ``rootpaths``, ``datapaths``, ``edge``,
         ``dataguide``, ``index_fabric``, ``asr``, ``join_index``.
+        Rebuilding an index drops the service layer's cached results.
         """
-        return self.engine.build_index(name, **options)
+        index = self.engine.build_index(name, **options)
+        self.service.invalidate()
+        return index
 
     def build_all_indexes(self) -> None:
         """Build every index required by the default strategy set."""
@@ -107,8 +121,39 @@ class TwigIndexDatabase:
         strategy: str = "rootpaths",
         **strategy_options,
     ) -> QueryResult:
-        """Evaluate a twig query (indices are built on demand)."""
+        """Evaluate a twig query (indices are built on demand).
+
+        ``strategy="auto"`` lets the optimizer pick the estimated-
+        cheapest strategy (via the service layer); fixed strategy names
+        execute directly and unmeasured by any cache, as the benchmarks
+        expect.
+        """
+        if strategy == AUTO_STRATEGY:
+            return self.service.execute(
+                xpath, strategy=strategy, use_result_cache=False, **strategy_options
+            )
         return self.engine.execute(xpath, strategy=strategy, **strategy_options)
+
+    def execute_batch(
+        self,
+        queries: Iterable[Union[str, TwigPattern]],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> BatchResult:
+        """Evaluate a batch of queries through the service layer.
+
+        Plans and results are cached across the batch (and across
+        batches), strategy instances are reused, and the returned
+        :class:`~repro.service.BatchResult` carries one shared stats
+        snapshot for the whole batch.
+        """
+        return self.service.execute_batch(
+            queries,
+            strategy=strategy,
+            use_result_cache=use_result_cache,
+            **strategy_options,
+        )
 
     def query_all_strategies(
         self,

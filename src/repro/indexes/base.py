@@ -22,8 +22,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..errors import IndexNotBuiltError
-from ..storage.stats import GLOBAL_STATS, StatsCollector
+from ..storage.stats import GLOBAL_STATS, PAGE_READ_WEIGHT, StatsCollector
 from ..xmltree.document import XmlDatabase
+
+#: Per-lookup descent charge assumed for an index that cannot report a
+#: tree height (a shallow three-level tree), in weighted-cost currency.
+DEFAULT_DESCENT_COST = 3 * PAGE_READ_WEIGHT
 
 
 @dataclass(frozen=True)
@@ -107,6 +111,21 @@ class PathIndex(abc.ABC):
     def is_built(self) -> bool:
         """True once :meth:`build` has completed."""
         return self._built
+
+    # ------------------------------------------------------------------
+    def lookup_descent_cost(self) -> int:
+        """Weighted cost of one lookup's descent into this index.
+
+        Expressed in the :func:`~repro.storage.stats.weighted_cost`
+        currency (page reads x weight), with no I/O charged — the
+        optimizer's per-probe charge when ranking strategies against
+        each other.  Indexes backed by a B+-tree in ``self._tree``
+        report their actual height; others assume a shallow tree.
+        """
+        height = getattr(getattr(self, "_tree", None), "height", None)
+        if height is not None:
+            return max(1, height) * PAGE_READ_WEIGHT
+        return DEFAULT_DESCENT_COST
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -25,7 +25,7 @@ from typing import Iterator, Optional, Sequence
 from ..errors import UnsupportedLookupError
 from ..paths.compression import HeadIdPruner, SchemaPathDictionary
 from ..paths.fourary import iter_datapaths_rows
-from ..paths.idlist import encoded_size_bytes, raw_size_bytes
+from ..paths.idlist import encoded_size_bytes, present_ids, raw_size_bytes
 from ..storage.btree import BPlusTree
 from ..storage.keys import encode_key
 from ..storage.stats import StatsCollector
@@ -222,8 +222,8 @@ class DataPathsIndex(PathIndex):
         def value_size(payload) -> int:
             _labels, ids, _value, _head = payload
             if self.differential_idlists:
-                return encoded_size_bytes(list(ids))
-            return raw_size_bytes(list(ids))
+                return encoded_size_bytes(present_ids(ids))
+            return raw_size_bytes(present_ids(ids))
 
         size = self._tree.estimated_size_bytes(
             key_size_of=key_size, value_size_of=value_size, prefix_compression=True

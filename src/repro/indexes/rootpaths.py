@@ -34,7 +34,7 @@ from typing import Iterator, Optional, Sequence
 from ..errors import UnsupportedLookupError
 from ..paths.compression import SchemaPathDictionary
 from ..paths.fourary import iter_rootpaths_rows
-from ..paths.idlist import encoded_size_bytes, raw_size_bytes
+from ..paths.idlist import encoded_size_bytes, present_ids, raw_size_bytes
 from ..storage.btree import BPlusTree
 from ..storage.keys import encode_key
 from ..storage.stats import StatsCollector
@@ -199,8 +199,8 @@ class RootPathsIndex(PathIndex):
         def value_size(payload) -> int:
             _labels, ids, _value = payload
             if self.differential_idlists:
-                return encoded_size_bytes([i for i in ids if i is not None])
-            return raw_size_bytes([i for i in ids if i is not None])
+                return encoded_size_bytes(present_ids(ids))
+            return raw_size_bytes(present_ids(ids))
 
         size = self._tree.estimated_size_bytes(
             key_size_of=key_size, value_size_of=value_size, prefix_compression=True

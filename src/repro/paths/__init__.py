@@ -19,6 +19,7 @@ from .idlist import (
     decode_deltas,
     encode_deltas,
     encoded_size_bytes,
+    present_ids,
     prune_idlist,
     raw_size_bytes,
     varint_size,
@@ -53,6 +54,7 @@ __all__ = [
     "match_positions",
     "matches",
     "matching_schema_paths",
+    "present_ids",
     "prune_idlist",
     "raw_size_bytes",
     "render_designators",

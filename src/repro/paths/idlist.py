@@ -15,9 +15,20 @@ experiments.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 IdList = tuple[int, ...]
+
+
+def present_ids(ids: Sequence[Optional[int]]) -> list[int]:
+    """The ids actually stored in a (possibly pruned) IdList.
+
+    Workload-based pruning (:func:`prune_idlist`) replaces eliminated
+    positions with ``None`` NULLs, which occupy no id slot on disk.
+    Every space computation must size IdLists through this filter so the
+    Figure 9 numbers are consistent across the index family.
+    """
+    return [identifier for identifier in ids if identifier is not None]
 
 
 def varint_size(value: int) -> int:

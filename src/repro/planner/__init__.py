@@ -9,10 +9,14 @@ from .evaluator import (
 )
 from .joiner import BranchRelation, build_join_plan, join_branches
 from .optimizer import (
+    AUTO_CANDIDATES,
     DataPathsPlanChoice,
     PROBE_COST,
+    StrategyChoice,
     choose_datapaths_plan,
+    choose_strategy,
     estimate_branch_cardinalities,
+    estimate_strategy_costs,
 )
 from .strategies import (
     AccessSupportRelationsStrategy,
@@ -26,6 +30,7 @@ from .strategies import (
 )
 
 __all__ = [
+    "AUTO_CANDIDATES",
     "AccessSupportRelationsStrategy",
     "AnalyzedPath",
     "BranchRelation",
@@ -41,11 +46,14 @@ __all__ = [
     "QueryResult",
     "RootPathsStrategy",
     "STRATEGY_TYPES",
+    "StrategyChoice",
     "TwigAnalysis",
     "TwigQueryEngine",
     "build_join_plan",
     "choose_datapaths_plan",
+    "choose_strategy",
     "estimate_branch_cardinalities",
+    "estimate_strategy_costs",
     "join_branches",
     "split_segments",
     "subpath_below",

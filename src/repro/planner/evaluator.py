@@ -19,7 +19,7 @@ from ..indexes import INDEX_TYPES, PathIndex
 from ..query.match import NaiveMatcher
 from ..query.parser import parse_xpath
 from ..query.twig import TwigPattern
-from ..storage.stats import StatsCollector
+from ..storage.stats import StatsCollector, weighted_cost
 from ..xmltree.document import XmlDatabase
 from .strategies import (
     AccessSupportRelationsStrategy,
@@ -64,6 +64,9 @@ class QueryResult:
     ids: list[int]
     elapsed_seconds: float
     cost: dict[str, int] = field(default_factory=dict)
+    #: True when the answer was served from a service-layer result cache
+    #: (the cost counters then describe the original execution).
+    cached: bool = False
 
     @property
     def cardinality(self) -> int:
@@ -77,13 +80,8 @@ class QueryResult:
 
     @property
     def total_cost(self) -> int:
-        """Weighted logical cost (see StatsCollector.total_cost)."""
-        return (
-            10 * self.logical_io
-            + self.cost.get("btree_entries_scanned", 0)
-            + self.cost.get("join_comparisons", 0)
-            + self.cost.get("join_probes", 0)
-        )
+        """Weighted logical cost (the shared StatsCollector formula)."""
+        return weighted_cost(self.cost)
 
 
 class TwigQueryEngine:
@@ -97,12 +95,24 @@ class TwigQueryEngine:
         self.db = db
         self.stats = stats if stats is not None else StatsCollector()
         self.indexes: dict[str, PathIndex] = {}
+        #: Options used for the most recent build of each index, replayed
+        #: when an evicted index is rebuilt on demand (so ablation
+        #: switches like ``store_full_idlist=False`` survive rebuilds).
+        self.build_options: dict[str, dict[str, object]] = {}
+        #: Monotonic count of index builds — a cheap change signal for
+        #: the service layer's cache invalidation.
+        self.build_count = 0
 
     # ------------------------------------------------------------------
     # Index management
     # ------------------------------------------------------------------
     def build_index(self, name: str, **options) -> PathIndex:
-        """Build (or rebuild) one index by its short name."""
+        """Build (or rebuild) one index by its short name.
+
+        The options are recorded so a later on-demand rebuild (for
+        example after the index was evicted) reuses them instead of
+        silently reverting to defaults.
+        """
         try:
             index_class = INDEX_TYPES[name]
         except KeyError:
@@ -112,6 +122,8 @@ class TwigQueryEngine:
         index = index_class(stats=self.stats, **options)
         index.build(self.db)
         self.indexes[name] = index
+        self.build_options[name] = dict(options)
+        self.build_count += 1
         return index
 
     def build_indexes(self, names: Sequence[str]) -> None:
@@ -120,11 +132,15 @@ class TwigQueryEngine:
             self.build_index(name)
 
     def ensure_indexes_for(self, strategy_name: str) -> None:
-        """Build whatever indices the strategy needs and are missing."""
+        """Build whatever indices the strategy needs and are missing.
+
+        Missing indices are (re)built with the options recorded by their
+        last explicit :meth:`build_index` call, defaults otherwise.
+        """
         strategy_class = self._strategy_class(strategy_name)
         for index_name in strategy_class.required_indexes:
             if index_name not in self.indexes:
-                self.build_index(index_name)
+                self.build_index(index_name, **self.build_options.get(index_name, {}))
 
     def index_sizes_mb(self) -> dict[str, float]:
         """Sizes of every built index in MB (the Figure 9 row)."""
@@ -153,13 +169,31 @@ class TwigQueryEngine:
         twig = parse_xpath(query) if isinstance(query, str) else query
         xpath = query if isinstance(query, str) else twig.to_xpath()
         runner = self.strategy(strategy, **strategy_options)
+        return self.execute_prepared(runner, twig, xpath=xpath)
+
+    def execute_prepared(
+        self,
+        runner: EvaluationStrategy,
+        twig: TwigPattern,
+        xpath: Optional[str] = None,
+    ) -> QueryResult:
+        """Evaluate an already-parsed twig with an existing strategy instance.
+
+        This is the measurement core of :meth:`execute`; the service
+        layer calls it directly to reuse cached twigs and per-strategy
+        instances across queries.
+        """
         before = self.stats.snapshot()
         started = time.perf_counter()
         ids = runner.evaluate(twig)
         elapsed = time.perf_counter() - started
         cost = self.stats.diff(before)
         return QueryResult(
-            strategy=strategy, xpath=xpath, ids=ids, elapsed_seconds=elapsed, cost=cost
+            strategy=runner.name,
+            xpath=xpath if xpath is not None else twig.to_xpath(),
+            ids=ids,
+            elapsed_seconds=elapsed,
+            cost=cost,
         )
 
     def execute_all(

@@ -6,7 +6,7 @@ PCsubpaths, and the FreeIndex / BoundIndex problems' query-side inputs.
 
 from .ast import Axis, TwigNode
 from .match import NaiveMatcher
-from .parser import parse_xpath
+from .parser import normalize_xpath, parse_xpath
 from .twig import PathQuery, TwigPattern
 
 __all__ = [
@@ -15,5 +15,6 @@ __all__ = [
     "PathQuery",
     "TwigPattern",
     "TwigNode",
+    "normalize_xpath",
     "parse_xpath",
 ]

@@ -135,18 +135,48 @@ class _Parser:
 
     def _parse_name(self) -> str:
         token = self.next()
-        if token[0] not in ("name", "number"):
+        if token[0] == "number":
+            raise QueryParseError(
+                f"step names cannot be numbers: {token[1]!r} in {self.text!r} "
+                "(numbers are only valid as comparison literals)"
+            )
+        if token[0] != "name":
             raise QueryParseError(f"expected a name but found {token[1]!r} in {self.text!r}")
         return token[1]
 
     def _parse_predicate(self, owner: TwigNode) -> None:
         while True:
             self._parse_condition(owner)
-            token = self.peek()
-            if token is not None and token[0] == "name" and token[1] == "and":
-                self.next()
+            if self._accept_conjunction():
                 continue
             break
+
+    def _accept_conjunction(self) -> bool:
+        """Consume an ``and`` keyword separating two predicate conditions.
+
+        ``and`` is also a legal element name, so it only reads as the
+        conjunction when the token after it can start a condition: ``.``,
+        ``@``, a name, or ``//`` (a descendant condition).  A single
+        ``/`` after ``and`` is rejected — ``[x and/y]`` is ambiguous
+        between the conjunction and an element named ``and`` (write
+        ``[x and y]`` or ``[x and and/y]`` respectively) — and so is a
+        closing ``]``.  ``[and/x]`` therefore stays an element step
+        while ``[x and y]`` conjoins.
+        """
+        token = self.peek()
+        if token is None or token[0] != "name" or token[1] != "and":
+            return False
+        following = (
+            self.tokens[self.position + 1]
+            if self.position + 1 < len(self.tokens)
+            else None
+        )
+        if following is None or following[0] not in ("name", "at", "dot", "dslash"):
+            raise QueryParseError(
+                f"'and' must be followed by a predicate condition in {self.text!r}"
+            )
+        self.position += 1
+        return True
 
     def _parse_condition(self, owner: TwigNode) -> None:
         if self.accept("dot") is not None:
@@ -192,6 +222,17 @@ class _Parser:
         raise QueryParseError(f"expected a literal but found {token[1]!r} in {self.text!r}")
 
 
+def normalize_xpath(text: str) -> str:
+    """Canonical form of a query string for caching purposes.
+
+    Normalises the curly quotes of the paper's listings and strips
+    surrounding whitespace — exactly the preprocessing
+    :func:`parse_xpath` applies — so queries differing only in those
+    details share one plan-cache entry.
+    """
+    return text.translate(_QUOTE_NORMALISATION).strip()
+
+
 def parse_xpath(text: str) -> TwigPattern:
     """Parse an XPath-subset string into a :class:`TwigPattern`.
 
@@ -200,7 +241,7 @@ def parse_xpath(text: str) -> TwigPattern:
     QueryParseError
         When the text is not in the supported fragment.
     """
-    normalised = text.translate(_QUOTE_NORMALISATION).strip()
+    normalised = normalize_xpath(text)
     if not normalised:
         raise QueryParseError("empty query string")
     tokens = _tokenize(normalised)

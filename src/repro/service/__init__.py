@@ -1,0 +1,17 @@
+"""Query-serving layer: plan/result caching and optimizer-driven strategy choice.
+
+Sits between the :class:`~repro.engine.TwigIndexDatabase` facade and the
+:class:`~repro.planner.evaluator.TwigQueryEngine`, amortising per-query
+setup (parsing, index checks, strategy construction) across a serving
+workload and delegating strategy choice to the planner's cost models.
+"""
+
+from .cache import LRUCache
+from .service import AUTO_STRATEGY, BatchResult, QueryService
+
+__all__ = [
+    "AUTO_STRATEGY",
+    "BatchResult",
+    "LRUCache",
+    "QueryService",
+]

@@ -1,0 +1,79 @@
+"""A small LRU cache with hit/miss accounting for the service layer.
+
+``functools.lru_cache`` memoises a function, but the service needs an
+*object* it can clear on invalidation, size per service instance and
+introspect for its statistics — hence this minimal OrderedDict-based
+implementation.  A ``max_size`` of zero disables caching entirely (every
+``get`` misses, ``put`` is a no-op), which lets callers switch a cache
+off without branching at every call site.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterator, Optional, TypeVar
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping bounded to ``max_size`` entries."""
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 0:
+            raise ValueError(f"cache size cannot be negative: {max_size}")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Optional[V] = None):
+        """The cached value (refreshing its recency), else ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert or refresh one entry, evicting the oldest past capacity."""
+        if self.max_size == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUCache(size={len(self._entries)}/{self.max_size}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,388 @@
+"""The query-serving layer: plan caching, strategy reuse, auto plans, batches.
+
+:class:`~repro.planner.evaluator.TwigQueryEngine.execute` is built for
+one-off measurements: every call re-parses the XPath, re-checks index
+availability and instantiates a fresh strategy object.  Under a
+repeated-query serving workload all of that is pure overhead.
+:class:`QueryService` wraps an engine with the pieces a server needs:
+
+* an LRU **plan cache** of parsed :class:`~repro.query.twig.TwigPattern`
+  objects keyed on the normalised query text,
+* **reusable strategy instances**, one per (strategy, options) pair,
+  instead of a fresh object per query,
+* a ``strategy="auto"`` mode that asks the optimizer
+  (:func:`~repro.planner.optimizer.choose_strategy`, fed by the index
+  catalog's ``estimate_matches`` statistics) for the estimated-cheapest
+  strategy per query,
+* an optional LRU **result cache**, invalidated whenever the document
+  set or the built indexes change,
+* :meth:`~QueryService.execute_batch`, which runs many queries under a
+  single shared stats snapshot and reports batch-level totals.
+
+The service watches a generation fingerprint of the database and the
+engine's index-build counter, so results cached before an
+``add_document`` / ``build_index`` can never be served afterwards even
+when the mutation bypassed the service's own :meth:`~QueryService.invalidate`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import PlanningError
+from ..planner.evaluator import QueryResult, STRATEGY_TYPES, TwigQueryEngine
+from ..planner.analysis import TwigAnalysis
+from ..planner.optimizer import AUTO_CANDIDATES, StrategyChoice, choose_strategy
+from ..planner.strategies import EvaluationStrategy
+from ..query.parser import normalize_xpath, parse_xpath
+from ..query.twig import TwigPattern
+from ..storage.stats import weighted_cost
+from .cache import LRUCache
+
+#: The pseudo-strategy name that delegates plan choice to the optimizer.
+AUTO_STRATEGY = "auto"
+
+
+@dataclass
+class BatchResult:
+    """The answers to one query batch plus batch-level measurements.
+
+    ``cost`` is the delta of one shared stats snapshot taken around the
+    whole batch, so it prices exactly the logical work the batch charged
+    — cached answers contribute nothing to it.
+    """
+
+    results: list[QueryResult]
+    elapsed_seconds: float
+    cost: dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    strategy_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> int:
+        """Weighted logical cost of the whole batch (shared formula)."""
+        return weighted_cost(self.cost)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class QueryService:
+    """A serving facade over :class:`TwigQueryEngine` for repeated queries."""
+
+    def __init__(
+        self,
+        engine: TwigQueryEngine,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        auto_candidates: Sequence[str] = AUTO_CANDIDATES,
+    ) -> None:
+        self.engine = engine
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.result_cache = LRUCache(result_cache_size)
+        #: Memoised StrategyChoice per normalized query; flushed with the
+        #: result cache (a choice depends on the built-index generation).
+        self.choice_cache = LRUCache(plan_cache_size)
+        self.auto_candidates = tuple(auto_candidates)
+        for name in self.auto_candidates:
+            if name not in STRATEGY_TYPES:
+                raise ValueError(
+                    f"unknown auto candidate {name!r}; known: {sorted(STRATEGY_TYPES)}"
+                )
+        self._strategies: dict[tuple, EvaluationStrategy] = {}
+        self._generation: Optional[tuple] = None
+        self.invalidations = 0
+        self.auto_choice_counts: dict[str, int] = {}
+        self.last_choice: Optional[StrategyChoice] = None
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def plan(self, query: Union[str, TwigPattern]) -> TwigPattern:
+        """The parsed twig for a query, served from the plan cache."""
+        if isinstance(query, TwigPattern):
+            return query
+        key = normalize_xpath(query)
+        twig = self.plan_cache.get(key)
+        if twig is None:
+            twig = parse_xpath(query)
+            self.plan_cache.put(key, twig)
+        return twig
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached result (documents or indexes changed)."""
+        self.result_cache.clear()
+        self.choice_cache.clear()
+        self._generation = self._current_generation()
+        self.invalidations += 1
+
+    def _current_generation(self) -> tuple:
+        return (self.engine.db.revision, self.engine.build_count)
+
+    def _check_generation(self) -> None:
+        current = self._current_generation()
+        if self._generation is None:
+            self._generation = current
+        elif current != self._generation:
+            self.result_cache.clear()
+            self.choice_cache.clear()
+            self._generation = current
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Strategy reuse and auto choice
+    # ------------------------------------------------------------------
+    def strategy_instance(
+        self, name: str, **strategy_options
+    ) -> EvaluationStrategy:
+        """A reusable strategy instance (required indexes built on demand)."""
+        self.engine.ensure_indexes_for(name)
+        key = self._options_key(name, strategy_options)
+        if key is None:
+            return self.engine.strategy(name, **strategy_options)
+        instance = self._strategies.get(key)
+        if instance is None:
+            strategy_class = STRATEGY_TYPES[name]
+            instance = strategy_class(
+                self.engine.db,
+                self.engine.indexes,
+                stats=self.engine.stats,
+                **strategy_options,
+            )
+            self._strategies[key] = instance
+        return instance
+
+    @staticmethod
+    def _options_key(name: str, options: dict) -> Optional[tuple]:
+        try:
+            key = (name, tuple(sorted(options.items())))
+            hash(key)  # building the tuple alone never hashes the values
+        except TypeError:
+            # Unhashable option values cannot key the caches.
+            return None
+        return key
+
+    def choose(self, query: Union[str, TwigPattern]) -> StrategyChoice:
+        """The optimizer's strategy pick for one query (``auto`` mode).
+
+        Candidates are restricted to strategies whose indexes are
+        already built; with none built, the first candidate's indexes
+        are built (with their recorded options) and it is chosen.
+        Choices are memoised per normalized query until the document
+        set or the built indexes change.
+        """
+        self._check_generation()
+        twig = self.plan(query)
+        xpath = query if isinstance(query, str) else twig.to_xpath()
+        return self._choose_cached(twig, xpath)
+
+    def _choose_cached(self, twig: TwigPattern, xpath: str) -> StrategyChoice:
+        key = normalize_xpath(xpath)
+        choice = self.choice_cache.get(key)
+        if choice is None:
+            choice = self._choose(twig)
+            self.choice_cache.put(key, choice)
+        self.last_choice = choice
+        return choice
+
+    def _choose(self, twig: TwigPattern) -> StrategyChoice:
+        candidates = self._available_candidates()
+        catalog = self._catalog_index()
+        if catalog is None:
+            if len(candidates) == 1:
+                # Nothing to rank, and no statistics to rank with: the
+                # single viable candidate wins without building anything.
+                return StrategyChoice(candidates[0], {candidates[0]: 0.0}, None)
+            raise PlanningError(
+                "strategy='auto' needs the catalog statistics of a built "
+                "ROOTPATHS or DATAPATHS index to rank "
+                f"{sorted(candidates)}; build one of them first"
+            )
+        return choose_strategy(
+            TwigAnalysis(twig),
+            catalog,
+            candidates=candidates,
+            indexes=self.engine.indexes,
+        )
+
+    def _available_candidates(self) -> tuple[str, ...]:
+        available = tuple(
+            name
+            for name in self.auto_candidates
+            if all(
+                index_name in self.engine.indexes
+                for index_name in STRATEGY_TYPES[name].required_indexes
+            )
+        )
+        if available:
+            return available
+        fallback = self.auto_candidates[0]
+        self.engine.ensure_indexes_for(fallback)
+        return (fallback,)
+
+    def _catalog_index(self):
+        """A built index carrying ``estimate_matches`` statistics, if any.
+
+        Never builds one: silently constructing a full index just to
+        read its statistics would be an expensive surprise.
+        """
+        for name in ("rootpaths", "datapaths"):
+            index = self.engine.indexes.get(name)
+            if index is not None:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Union[str, TwigPattern],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> QueryResult:
+        """Evaluate one query through the caches and the optimizer.
+
+        ``strategy`` is a fixed strategy name or ``"auto"``.  Cached
+        answers come back with ``cached=True`` and the cost counters of
+        the execution that produced them.
+        """
+        self._check_generation()
+        twig = self.plan(query)
+        xpath = query if isinstance(query, str) else twig.to_xpath()
+        cache_key = self._result_key(xpath, strategy, strategy_options)
+        if use_result_cache and cache_key is not None:
+            hit = self.result_cache.get(cache_key)
+            if hit is not None:
+                return self._copy_result(hit, cached=True)
+        result = self._execute_uncached(twig, xpath, strategy, strategy_options)
+        # An on-demand index build during execution bumps the generation;
+        # the result reflects the post-build state, so adopt it before
+        # caching rather than letting the next call flush this entry.
+        self._generation = self._current_generation()
+        if use_result_cache and cache_key is not None:
+            # Cache a private copy: the caller owns the returned object
+            # and may mutate its ids/cost without poisoning later hits.
+            self.result_cache.put(cache_key, self._copy_result(result))
+        return result
+
+    @staticmethod
+    def _copy_result(result: QueryResult, cached: bool = False) -> QueryResult:
+        return dataclasses.replace(
+            result, ids=list(result.ids), cost=dict(result.cost), cached=cached
+        )
+
+    def _result_key(
+        self, xpath: str, strategy: str, strategy_options: dict
+    ) -> Optional[tuple]:
+        options_key = self._options_key(strategy, strategy_options)
+        if options_key is None:
+            return None
+        return (normalize_xpath(xpath), options_key)
+
+    def _execute_uncached(
+        self, twig: TwigPattern, xpath: str, strategy: str, strategy_options: dict
+    ) -> QueryResult:
+        if strategy == AUTO_STRATEGY:
+            choice = self._choose_cached(twig, xpath)
+            strategy = choice.strategy
+            self.auto_choice_counts[strategy] = (
+                self.auto_choice_counts.get(strategy, 0) + 1
+            )
+            if (
+                strategy == "datapaths"
+                and choice.datapaths_plan is not None
+                and "force_plan" not in strategy_options
+            ):
+                # Execute the plan the estimate priced; left to itself the
+                # strategy would re-choose with the paper's flat probe
+                # charge and could diverge from the costed plan.
+                strategy_options = dict(strategy_options)
+                strategy_options["force_plan"] = choice.datapaths_plan.plan
+        runner = self.strategy_instance(strategy, **strategy_options)
+        return self.engine.execute_prepared(runner, twig, xpath=xpath)
+
+    def execute_batch(
+        self,
+        queries: Iterable[Union[str, TwigPattern]],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> BatchResult:
+        """Evaluate many queries under one shared stats snapshot.
+
+        Returns a :class:`BatchResult` whose ``cost`` is the counter
+        delta across the whole batch — the logical work actually
+        charged, with repeated queries served from the result cache for
+        free.
+        """
+        before = self.engine.stats.snapshot()
+        started = time.perf_counter()
+        results: list[QueryResult] = []
+        hits = 0
+        strategy_counts: dict[str, int] = {}
+        for query in queries:
+            result = self.execute(
+                query,
+                strategy=strategy,
+                use_result_cache=use_result_cache,
+                **strategy_options,
+            )
+            hits += 1 if result.cached else 0
+            strategy_counts[result.strategy] = (
+                strategy_counts.get(result.strategy, 0) + 1
+            )
+            results.append(result)
+        elapsed = time.perf_counter() - started
+        return BatchResult(
+            results=results,
+            elapsed_seconds=elapsed,
+            cost=self.engine.stats.diff(before),
+            cache_hits=hits,
+            cache_misses=len(results) - hits,
+            strategy_counts=strategy_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Cache and optimizer counters (for logs and benchmarks)."""
+        return {
+            "plan_cache": {
+                "size": len(self.plan_cache),
+                "hits": self.plan_cache.hits,
+                "misses": self.plan_cache.misses,
+                "hit_rate": self.plan_cache.hit_rate,
+            },
+            "result_cache": {
+                "size": len(self.result_cache),
+                "hits": self.result_cache.hits,
+                "misses": self.result_cache.misses,
+                "hit_rate": self.result_cache.hit_rate,
+            },
+            "choice_cache": {
+                "size": len(self.choice_cache),
+                "hits": self.choice_cache.hits,
+                "misses": self.choice_cache.misses,
+            },
+            "strategy_instances": len(self._strategies),
+            "auto_choice_counts": dict(self.auto_choice_counts),
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryService(plans={len(self.plan_cache)}, "
+            f"results={len(self.result_cache)}, "
+            f"strategies={len(self._strategies)})"
+        )

@@ -21,7 +21,28 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field, fields
-from typing import Iterator
+from typing import Iterator, Mapping
+
+#: Weight of one page-granularity read (B+-tree node or heap page) in the
+#: aggregate cost proxy, relative to per-entry / per-comparison CPU work.
+PAGE_READ_WEIGHT = 10
+
+
+def weighted_cost(counters: Mapping[str, int]) -> int:
+    """The aggregate cost proxy over a counter mapping.
+
+    This is the single definition of the benchmark cost formula: both
+    :meth:`StatsCollector.total_cost` and per-query cost dicts (see
+    :class:`~repro.planner.evaluator.QueryResult`) are priced through it,
+    so the weighting cannot drift between the two.
+    """
+    return (
+        PAGE_READ_WEIGHT
+        * (counters.get("btree_node_reads", 0) + counters.get("heap_page_reads", 0))
+        + counters.get("btree_entries_scanned", 0)
+        + counters.get("join_comparisons", 0)
+        + counters.get("join_probes", 0)
+    )
 
 
 @dataclass
@@ -57,13 +78,9 @@ class StatsCollector:
 
         Weighted so that page-granularity reads dominate per-entry and
         per-comparison CPU work, mirroring an I/O-bound cost model.
+        The formula lives in :func:`weighted_cost`.
         """
-        return (
-            10 * (self.btree_node_reads + self.heap_page_reads)
-            + self.btree_entries_scanned
-            + self.join_comparisons
-            + self.join_probes
-        )
+        return weighted_cost(self.snapshot())
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Counter deltas relative to an earlier :meth:`snapshot`."""

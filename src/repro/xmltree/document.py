@@ -133,6 +133,15 @@ class XmlDatabase:
         return (n for n in self.iter_structural() if n.label == label)
 
     @property
+    def revision(self) -> tuple[int, int]:
+        """O(1) change fingerprint: (documents added, node-id watermark).
+
+        Any document addition advances it, so caches can detect staleness
+        without walking the trees.
+        """
+        return (len(self.documents), self._next_id)
+
+    @property
     def node_count(self) -> int:
         """Number of structural nodes in the database."""
         return sum(1 for _ in self.iter_structural())

@@ -47,6 +47,26 @@ def test_engine_builds_indexes_on_demand(book_db):
     assert {"dataguide", "edge"} <= set(book_db.indexes)
 
 
+def test_on_demand_rebuilds_reuse_recorded_index_options(book_db):
+    # Regression: ensure_indexes_for used to rebuild evicted indexes with
+    # default options, silently dropping earlier build_index(**options).
+    book_db.build_index("rootpaths", store_full_idlist=False)
+    del book_db.engine.indexes["rootpaths"]
+    book_db.engine.ensure_indexes_for("rootpaths")
+    assert book_db.indexes["rootpaths"].store_full_idlist is False
+
+    book_db.build_index("datapaths", schema_path_dictionary=True)
+    del book_db.engine.indexes["datapaths"]
+    book_db.engine.ensure_indexes_for("datapaths")
+    assert book_db.indexes["datapaths"].schema_path_dictionary is True
+
+    # An explicit rebuild with new options replaces the recorded ones.
+    book_db.build_index("rootpaths", store_full_idlist=True)
+    del book_db.engine.indexes["rootpaths"]
+    book_db.engine.ensure_indexes_for("rootpaths")
+    assert book_db.indexes["rootpaths"].store_full_idlist is True
+
+
 def test_engine_unknown_strategy_and_index(book_db):
     with pytest.raises(PlanningError):
         book_db.query("/book", strategy="btree-of-dreams")

@@ -4,9 +4,10 @@ import pytest
 
 from repro.errors import IndexNotBuiltError, UnsupportedLookupError
 from repro.indexes import DataPathsIndex, RootPathsIndex
-from repro.paths import HeadIdPruner
+from repro.paths import HeadIdPruner, prune_idlist
 from repro.query import parse_xpath
 from repro.storage import StatsCollector
+from repro.storage.btree import BPlusTree
 
 
 # ----------------------------------------------------------------------
@@ -140,6 +141,42 @@ def test_datapaths_is_larger_than_rootpaths(book_xmldb):
     datapaths = DataPathsIndex(stats=StatsCollector()).build(book_xmldb)
     assert datapaths.entry_count > rootpaths.entry_count
     assert datapaths.estimated_size_bytes() > rootpaths.estimated_size_bytes()
+
+
+def _prune_stored_idlists(index, idlist_position: int) -> None:
+    """Replace every stored IdList with a last-id-only pruned version.
+
+    Simulates Section 4.1's workload-based pruning at the storage level
+    so the space accounting can be exercised against NULL-bearing lists.
+    """
+    entries = []
+    for key, payload in index._tree.scan_all():
+        mutable = list(payload)
+        ids = mutable[idlist_position]
+        if ids:
+            mutable[idlist_position] = prune_idlist(ids, keep_positions=(len(ids) - 1,))
+        entries.append((key, tuple(mutable)))
+    rebuilt = BPlusTree(order=index.order, stats=index.stats, name=index.name)
+    rebuilt.bulk_load(entries)
+    index._tree = rebuilt
+
+
+def test_space_accounting_handles_pruned_idlists_consistently(book_xmldb):
+    # Regression: DATAPATHS sized IdLists without filtering NULLs while
+    # ROOTPATHS filtered them, so Figure 9 numbers diverged (and pruned
+    # DATAPATHS lists crashed the varint coder).  Both must size only the
+    # present ids.
+    for index_class, options in (
+        (RootPathsIndex, {}),
+        (RootPathsIndex, {"differential_idlists": False}),
+        (DataPathsIndex, {}),
+        (DataPathsIndex, {"differential_idlists": False}),
+    ):
+        index = index_class(stats=StatsCollector(), **options).build(book_xmldb)
+        full_size = index.estimated_size_bytes()
+        _prune_stored_idlists(index, idlist_position=1)
+        pruned_size = index.estimated_size_bytes()
+        assert pruned_size < full_size, (index_class.__name__, options)
 
 
 def test_datapaths_headid_pruning(book_xmldb):

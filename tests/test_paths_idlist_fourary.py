@@ -15,6 +15,7 @@ from repro.paths import (
     encoded_size_bytes,
     iter_datapaths_rows,
     iter_rootpaths_rows,
+    present_ids,
     prune_idlist,
     raw_size_bytes,
     varint_size,
@@ -56,6 +57,18 @@ def test_differential_encoding_saves_space_on_correlated_ids():
 
 def test_prune_idlist_replaces_with_none():
     assert prune_idlist((1, 5, 6, 7), keep_positions=[2]) == (None, None, 6, None)
+
+
+def test_present_ids_filters_pruned_nulls_for_sizing():
+    pruned = prune_idlist((1, 5, 9), keep_positions=(0, 2))
+    assert pruned == (1, None, 9)
+    assert present_ids(pruned) == [1, 9]
+    # Sizing a pruned list must go through the filter: NULL slots occupy
+    # no id storage, and the varint coder cannot encode None at all.
+    assert encoded_size_bytes(present_ids(pruned)) == encoded_size_bytes((1, 9))
+    assert raw_size_bytes(present_ids(pruned)) == raw_size_bytes((1, 9))
+    assert present_ids((4, 2)) == [4, 2]
+    assert present_ids(()) == []
 
 
 # ----------------------------------------------------------------------

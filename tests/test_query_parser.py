@@ -98,3 +98,66 @@ def test_multiple_predicates_on_one_step():
 def test_parse_errors(bad):
     with pytest.raises(QueryParseError):
         parse_xpath(bad)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "/book/123",       # regression: used to parse as a tag named '123'
+        "/123",
+        "//123/title",
+        "/book[123/x]",    # numeric step inside a predicate path
+        "/book[x/123]",
+        "/book/@5",
+    ],
+)
+def test_numeric_step_names_are_rejected(bad):
+    with pytest.raises(QueryParseError, match="cannot be numbers"):
+        parse_xpath(bad)
+
+
+def test_numbers_remain_valid_as_literals():
+    twig = parse_xpath("/item/quantity[. = 5]")
+    assert twig.output.value == "5"
+    twig = parse_xpath("/site[people/person/profile/@income = 46814.17]")
+    income = twig.root.children[0].children[0].children[0].children[0]
+    assert income.value == "46814.17"
+
+
+def test_element_named_and_is_not_swallowed_by_conjunction():
+    # Regression: the conjunction check used to consume 'and' whenever it
+    # followed a condition, even when no condition could follow it.
+    twig = parse_xpath("/book[and/x]")
+    and_node = twig.root.children[0]
+    assert and_node.label == "and"
+    assert [child.label for child in and_node.children] == ["x"]
+
+    twig = parse_xpath("/book[x and and/y]")
+    assert [child.label for child in twig.root.children] == ["x", "and"]
+    assert twig.root.children[1].children[0].label == "y"
+
+    twig = parse_xpath("/book[and = 'v']")
+    assert twig.root.children[0].label == "and"
+    assert twig.root.children[0].value == "v"
+
+
+def test_conjunction_with_descendant_condition_still_parses():
+    # '//' after 'and' is unambiguous (an element named 'and' with a
+    # descendant child is written [and//y]), so it stays a conjunction.
+    twig = parse_xpath("/book[x and //y]")
+    x, y = twig.root.children
+    assert (x.label, y.label) == ("x", "y")
+    assert y.axis is Axis.DESCENDANT
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "/book[x and]",     # nothing conjoinable after 'and'
+        "/book[x and/y]",   # regression: silently dropped the 'and' element
+        "/book[x and = 'v']",
+    ],
+)
+def test_and_must_be_followed_by_a_condition(bad):
+    with pytest.raises(QueryParseError, match="'and' must be followed"):
+        parse_xpath(bad)

@@ -1,6 +1,8 @@
 """Unit tests for heap files and the stats collector."""
 
+from repro.planner import QueryResult
 from repro.storage import GLOBAL_STATS, HeapFile, StatsCollector
+from repro.storage.stats import PAGE_READ_WEIGHT, weighted_cost
 
 
 def test_heap_append_and_scan_counts_pages():
@@ -55,6 +57,41 @@ def test_stats_totals_and_addition():
     assert a.total_cost() == 10 * 5 + 1
     a.reset()
     assert a.total_logical_io() == 0
+
+
+def test_total_cost_weights_are_pinned():
+    # The cost formula is the currency of every figure; pin its weights.
+    stats = StatsCollector(
+        btree_node_reads=2,
+        heap_page_reads=3,
+        btree_entries_scanned=5,
+        join_comparisons=7,
+        join_probes=11,
+        index_lookups=13,     # must not contribute
+        tuples_produced=17,   # must not contribute
+        btree_writes=19,      # must not contribute
+        heap_page_writes=23,  # must not contribute
+    )
+    assert PAGE_READ_WEIGHT == 10
+    assert stats.total_cost() == 10 * (2 + 3) + 5 + 7 + 11 == 73
+    assert weighted_cost(stats.snapshot()) == stats.total_cost()
+
+
+def test_query_result_cost_delegates_to_shared_formula():
+    # Regression: QueryResult once duplicated the weighting inline; the
+    # two implementations could drift.  It must defer to weighted_cost.
+    cost = {
+        "btree_node_reads": 1,
+        "heap_page_reads": 2,
+        "btree_entries_scanned": 3,
+        "join_comparisons": 4,
+        "join_probes": 5,
+        "index_lookups": 99,
+    }
+    result = QueryResult(
+        strategy="rootpaths", xpath="/x", ids=[], elapsed_seconds=0.0, cost=cost
+    )
+    assert result.total_cost == weighted_cost(cost) == 10 * 3 + 3 + 4 + 5
 
 
 def test_global_stats_exists():

@@ -13,7 +13,12 @@ from repro import TwigIndexDatabase
 from repro.datasets import FIGURE_1_QUERY, book_document
 from repro.planner import DEFAULT_STRATEGIES
 from repro.query import parse_xpath
-from repro.workloads import ALL_QUERIES, queries_for_dataset
+from repro.workloads import (
+    ALL_QUERIES,
+    branch_count_sweep,
+    generate_twig,
+    queries_for_dataset,
+)
 from repro.xmltree import Document, Node, NodeKind
 
 BOOK_QUERIES = [
@@ -93,6 +98,43 @@ def test_dblp_workload_matches_oracle(dblp_engine, strategy, workload_query):
     expected = dblp_engine.oracle(workload_query.xpath)
     result = dblp_engine.query(workload_query.xpath, strategy=strategy)
     assert result.ids == expected, f"{strategy} disagrees on {workload_query.qid}"
+
+
+def _generated_workload() -> list[str]:
+    """A sweep of the randomized workload generator's parameter space."""
+    xpaths: list[str] = []
+    for selectivity in ("selective", "moderate", "unselective"):
+        xpaths.extend(
+            generated.xpath for generated in branch_count_sweep(selectivity, max_branches=2)
+        )
+    xpaths.append(generate_twig(2, ["selective", "unselective"]).xpath)
+    xpaths.append(generate_twig(3, ["selective", "moderate", "unselective"]).xpath)
+    xpaths.extend(
+        generated.xpath
+        for generated in branch_count_sweep("unselective", max_branches=2, branch_depth="low")
+    )
+    xpaths.append(
+        generate_twig(
+            2,
+            ["selective", "unselective"],
+            branch_depth="low",
+            output_suffix="/time",
+        ).xpath
+    )
+    return xpaths
+
+
+@pytest.mark.parametrize("xpath", _generated_workload())
+def test_generated_workload_every_strategy_and_auto_match_oracle(xmark_engine, xpath):
+    # Differential test: the generator's whole parameter space, run
+    # through every fixed strategy and the optimizer-driven auto mode.
+    expected = xmark_engine.oracle(xpath)
+    for strategy in DEFAULT_STRATEGIES + ("auto",):
+        result = xmark_engine.query(xpath, strategy=strategy)
+        assert result.ids == expected, f"{strategy} disagrees on {xpath}"
+    service_result = xmark_engine.service.execute(xpath, strategy="auto")
+    assert service_result.ids == expected
+    assert service_result.strategy in DEFAULT_STRATEGIES
 
 
 def test_datapaths_forced_plans_agree(xmark_engine):
