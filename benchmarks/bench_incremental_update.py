@@ -1,0 +1,146 @@
+"""Incremental index maintenance vs full rebuild — grow-by-one workload.
+
+A serving system absorbs new documents while indexes stay online.  This
+bench grows an XMark-like database by one small delta document and
+compares, in the shared maintenance-cost currency
+(:func:`~repro.storage.stats.maintenance_cost`: page-granular writes at
+weight 10 plus per-entry insert work), the cost of
+
+* **incremental add** — one :meth:`~repro.indexes.base.PathIndex.update`
+  per built index (B+-tree inserts of just the delta's rows), vs
+* **full rebuild** — building every index from scratch over the grown
+  database, which is what any query after ``add_document`` used to
+  require for a correct answer.
+
+Asserted shape:
+
+* incremental add is cheaper than the rebuild by at least the ratio of
+  corpus size to delta size discounted for B+-tree descent overheads
+  (we pin a conservative 5x),
+* both maintenance paths answer the Figure 12-style workload
+  identically (and correctly w.r.t. the oracle).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TwigIndexDatabase
+from repro.bench import format_table
+from repro.datasets import generate_xmark
+from repro.storage.stats import maintenance_cost
+from repro.workloads.generator import branch_count_sweep
+
+#: Corpus and delta scales: the base is ~8x the delta, so a clear gap
+#: between incremental and rebuild cost is structural, not noise.
+BASE_SCALE = 0.16
+DELTA_SCALE = 0.02
+
+#: Indexes maintained in the bench: the paper's two main structures
+#: plus the Edge baseline and the DataGuide summary — the four with
+#: true incremental insertion.
+MAINTAINED_INDEXES = ("rootpaths", "datapaths", "edge", "dataguide")
+
+#: Conservative floor for the incremental advantage on this corpus.
+MIN_SPEEDUP = 5.0
+
+
+def _documents():
+    """Fresh base + delta documents (documents cannot be shared)."""
+    return (
+        generate_xmark(scale=BASE_SCALE, seed=7, name="base"),
+        generate_xmark(scale=DELTA_SCALE, seed=99, name="delta"),
+    )
+
+
+@pytest.fixture(scope="module")
+def grow_by_one():
+    # Incremental path: indexes built over the base absorb the delta.
+    base, delta = _documents()
+    incremental = TwigIndexDatabase.from_documents([base])
+    for name in MAINTAINED_INDEXES:
+        incremental.build_index(name)
+    before = incremental.stats.snapshot()
+    incremental.add_document(delta)
+    incremental_cost = maintenance_cost(incremental.stats.diff(before))
+
+    # Rebuild path: the same grown corpus, indexes built from scratch.
+    base, delta = _documents()
+    rebuilt = TwigIndexDatabase.from_documents([base, delta])
+    before = rebuilt.stats.snapshot()
+    for name in MAINTAINED_INDEXES:
+        rebuilt.build_index(name)
+    rebuild_cost = maintenance_cost(rebuilt.stats.diff(before))
+
+    print()
+    print(
+        format_table(
+            ["maintenance path", "weighted cost", "relative"],
+            [
+                ["incremental add-one", incremental_cost, "1.0x"],
+                [
+                    "full rebuild",
+                    rebuild_cost,
+                    f"{rebuild_cost / max(1, incremental_cost):.1f}x",
+                ],
+            ],
+            title=f"Grow-by-one maintenance cost — indexes: "
+            f"{', '.join(MAINTAINED_INDEXES)}",
+        )
+    )
+    return {
+        "incremental": incremental,
+        "rebuilt": rebuilt,
+        "incremental_cost": incremental_cost,
+        "rebuild_cost": rebuild_cost,
+    }
+
+
+def test_incremental_add_beats_rebuild(grow_by_one):
+    incremental_cost = grow_by_one["incremental_cost"]
+    rebuild_cost = grow_by_one["rebuild_cost"]
+    assert incremental_cost > 0, "maintenance must charge write work"
+    assert rebuild_cost >= MIN_SPEEDUP * incremental_cost, (
+        f"incremental add-one ({incremental_cost}) not at least "
+        f"{MIN_SPEEDUP}x cheaper than rebuild ({rebuild_cost})"
+    )
+
+
+def test_both_maintenance_paths_answer_identically(grow_by_one):
+    incremental = grow_by_one["incremental"]
+    rebuilt = grow_by_one["rebuilt"]
+    queries = [
+        generated.xpath
+        for selectivity in ("selective", "unselective")
+        for generated in branch_count_sweep(selectivity, max_branches=2)
+    ]
+    queries.append("/site/people/person/name")
+    for xpath in queries:
+        expected = rebuilt.oracle(xpath)
+        for strategy in ("rootpaths", "datapaths", "edge", "auto"):
+            assert incremental.query(xpath, strategy=strategy).ids == expected, (
+                strategy,
+                xpath,
+            )
+            assert rebuilt.query(xpath, strategy=strategy).ids == expected, (
+                strategy,
+                xpath,
+            )
+
+
+def test_incremental_update_benchmark(benchmark):
+    # Wall-clock shape of one incremental add (small corpus so the
+    # benchmark loop stays fast; the cost assertion above is the pin).
+    base = generate_xmark(scale=0.05, seed=7, name="base")
+    database = TwigIndexDatabase.from_documents([base])
+    for name in MAINTAINED_INDEXES:
+        database.build_index(name)
+
+    counter = iter(range(10_000))
+
+    def add_one():
+        database.add_document(
+            generate_xmark(scale=0.01, seed=13, name=f"delta-{next(counter)}")
+        )
+
+    benchmark.pedantic(add_one, rounds=3, iterations=1)

@@ -75,9 +75,18 @@ class TwigIndexDatabase:
         return self.add_document(parse_file(path, name=name or path))
 
     def add_document(self, document: Document) -> Document:
-        """Add an already-parsed document (drops cached query results)."""
-        added = self.db.add_document(document)
-        self.service.invalidate()
+        """Add an already-parsed document, maintaining every built index.
+
+        Built indexes absorb the new document through
+        :meth:`~repro.indexes.base.PathIndex.update` (incremental
+        insertion for ROOTPATHS, DATAPATHS, Edge and DataGuide; full
+        rebuild for the rest), so queries keep seeing the whole
+        database.  The service layer drops cached results and optimizer
+        choices but keeps parsed plans and strategy instances — an add
+        changes answers, not query plans.
+        """
+        added = self.engine.add_document(document)
+        self.service.invalidate(rebuilt=False)
         return added
 
     # ------------------------------------------------------------------
@@ -88,7 +97,9 @@ class TwigIndexDatabase:
 
         Known names: ``rootpaths``, ``datapaths``, ``edge``,
         ``dataguide``, ``index_fabric``, ``asr``, ``join_index``.
-        Rebuilding an index drops the service layer's cached results.
+        Once built, an index is kept current by :meth:`add_document`.
+        Rebuilding an index flushes every service-layer cache (results,
+        plans, optimizer choices, strategy instances).
         """
         index = self.engine.build_index(name, **options)
         self.service.invalidate()

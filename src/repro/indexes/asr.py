@@ -75,6 +75,11 @@ class AccessSupportRelationsIndex(PathIndex):
 
     # ------------------------------------------------------------------
     def _build(self, db: XmlDatabase) -> None:
+        # No incremental ``update()``: adding a document can create new
+        # schema paths (new relations plus catalog churn), so ASR takes
+        # the base-class full-rebuild fall-back — the manageability cost
+        # Section 5.2.6 calls out.
+        self.relations = {}
         for row in iter_rootpaths_rows(db, include_values=True):
             relation = self.relations.get(row.schema_path)
             if relation is None:

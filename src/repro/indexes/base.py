@@ -10,6 +10,10 @@ each implementation so the framework itself is inspectable at runtime.
 Every concrete index implements :class:`PathIndex`:
 
 * ``build(db)`` — construct the index from an :class:`XmlDatabase`,
+* ``update(db, document)`` — absorb one newly added document; indexes
+  that support true incremental insertion (ROOTPATHS, DATAPATHS, Edge,
+  DataGuide) extend their structures in place, the rest fall back to a
+  full rebuild (the default ``_update``),
 * ``estimated_size_bytes()`` — the space number reported in Figure 9,
 * index-specific lookup methods used by the evaluation strategies in
   :mod:`repro.planner.strategies`.
@@ -23,7 +27,7 @@ from typing import Optional, Sequence
 
 from ..errors import IndexNotBuiltError
 from ..storage.stats import GLOBAL_STATS, PAGE_READ_WEIGHT, StatsCollector
-from ..xmltree.document import XmlDatabase
+from ..xmltree.document import Document, XmlDatabase
 
 #: Per-lookup descent charge assumed for an index that cannot report a
 #: tree height (a shallow three-level tree), in weighted-cost currency.
@@ -84,6 +88,9 @@ class PathIndex(abc.ABC):
     name: str = "abstract"
     #: The Figure 3 row for this index.
     descriptor: FamilyDescriptor = FamilyDescriptor("-", "-", ())
+    #: True when :meth:`update` inserts the new document's keys in place;
+    #: False when it falls back to a full rebuild (the base ``_update``).
+    incremental: bool = False
 
     def __init__(self, stats: Optional[StatsCollector] = None) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
@@ -100,7 +107,35 @@ class PathIndex(abc.ABC):
 
     @abc.abstractmethod
     def _build(self, db: XmlDatabase) -> None:
-        """Index-specific construction."""
+        """Index-specific construction.
+
+        Implementations must reset any per-build state (entry counters,
+        statistics, auxiliary dictionaries) at the start, because a
+        rebuild — including the fall-back path of :meth:`update` —
+        reuses the same index object.
+        """
+
+    # ------------------------------------------------------------------
+    def update(self, db: XmlDatabase, document: Document) -> "PathIndex":
+        """Absorb one document that was just added to ``db``.
+
+        ``document`` must already be part of ``db`` (its nodes carry
+        their final ids).  Indexes with ``incremental = True`` insert
+        exactly the rows the new document contributes — B+-tree inserts
+        of its path/edge keys, IdList extension, tag-dictionary growth
+        for labels first seen here; the rest fall back to the default
+        ``_update``, a full rebuild over the whole database.  Either
+        way the index answers queries over the post-add snapshot when
+        this returns.
+        """
+        self._require_built()
+        self.db = db
+        self._update(db, document)
+        return self
+
+    def _update(self, db: XmlDatabase, document: Document) -> None:
+        """Index-specific maintenance; the default is a full rebuild."""
+        self.build(db)
 
     def _require_built(self) -> XmlDatabase:
         if not self._built or self.db is None:

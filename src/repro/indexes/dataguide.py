@@ -34,26 +34,49 @@ class DataGuideIndex(PathIndex):
         id_list_sublist="only last ID",
         indexed_columns=("SchemaPath",),
     )
+    #: ``update()`` extends the summary (new entries and, when the new
+    #: document introduces unseen rooted paths, new skeleton paths).
+    incremental = True
 
     def __init__(self, stats: Optional[StatsCollector] = None, order: int = 128) -> None:
         super().__init__(stats)
         self.order = order
         self._tree: Optional[BPlusTree] = None
         self._distinct_paths: list[LabelPath] = []
+        self._seen_paths: set[LabelPath] = set()
         self.entry_count = 0
 
     # ------------------------------------------------------------------
     def _build(self, db: XmlDatabase) -> None:
         self._tree = BPlusTree(order=self.order, stats=self.stats, name=self.name)
-        seen_paths: dict[LabelPath, None] = {}
+        self._distinct_paths = []
+        self._seen_paths = set()
+        self.entry_count = 0
         entries = []
         for row in iter_rootpaths_rows(db, include_values=False):
-            tag_ids = tuple(db.tags.intern(label) for label in row.schema_path)
-            entries.append((encode_key(tag_ids), row.id_list[-1]))
-            self.entry_count += 1
-            seen_paths.setdefault(row.schema_path, None)
+            entries.append(self._entry_for_row(db, row))
         self._tree.bulk_load(entries)
-        self._distinct_paths = list(seen_paths)
+
+    def _update(self, db: XmlDatabase, document) -> None:
+        """DataGuide summary extension for one new document.
+
+        Every rooted path prefix of the new document contributes one
+        B+-tree entry; rooted schema paths never seen before also extend
+        the DataGuide skeleton (``distinct_paths``), so later recursive
+        pattern matching enumerates them too.
+        """
+        assert self._tree is not None
+        for row in iter_rootpaths_rows(db, include_values=False, documents=(document,)):
+            self._tree.insert(*self._entry_for_row(db, row))
+
+    def _entry_for_row(self, db: XmlDatabase, row) -> tuple:
+        """One summary entry; grows the skeleton on first-seen paths."""
+        tag_ids = tuple(db.tags.intern(label) for label in row.schema_path)
+        self.entry_count += 1
+        if row.schema_path not in self._seen_paths:
+            self._seen_paths.add(row.schema_path)
+            self._distinct_paths.append(row.schema_path)
+        return encode_key(tag_ids), row.id_list[-1]
 
     # ------------------------------------------------------------------
     def lookup_path(self, labels: Sequence[str]) -> list[int]:

@@ -42,6 +42,8 @@ class DataPathsIndex(PathIndex):
         id_list_sublist="full IdList",
         indexed_columns=("LeafValue", "HeadId", "reverse SchemaPath"),
     )
+    #: ``update()`` inserts the new document's subpath rows in place.
+    incremental = True
 
     def __init__(
         self,
@@ -63,12 +65,38 @@ class DataPathsIndex(PathIndex):
         self.value_counts: dict[tuple[str, Optional[str]], int] = {}
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction and maintenance
     # ------------------------------------------------------------------
     def _build(self, db: XmlDatabase) -> None:
         self._tree = BPlusTree(order=self.order, stats=self.stats, name=self.name)
-        entries = []
-        for row in iter_datapaths_rows(db):
+        self._path_dictionary = (
+            SchemaPathDictionary() if self.schema_path_dictionary else None
+        )
+        self.entry_count = 0
+        self.pruned_count = 0
+        self.value_counts = {}
+        self._tree.bulk_load(self._iter_entries(db, iter_datapaths_rows(db)))
+
+    def _update(self, db: XmlDatabase, document) -> None:
+        """Incremental insertion of the new document's subpath rows.
+
+        Each row (every (ancestor-or-self head, node) pair of the new
+        document, plus its virtual-root rows) becomes one B+-tree
+        ``insert``; head pruning, dictionary growth and the catalog
+        statistics behave exactly as in a full build.
+        """
+        assert self._tree is not None
+        rows = iter_datapaths_rows(db, documents=(document,))
+        for key, payload in self._iter_entries(db, rows):
+            self._tree.insert(key, payload)
+
+    def _iter_entries(self, db: XmlDatabase, rows) -> "Iterator[tuple]":
+        """Map 4-ary rows to ``(key, payload)`` entries.
+
+        Shared by build and incremental update; maintains the entry and
+        pruning counters and the ``value_counts`` statistics.
+        """
+        for row in rows:
             if self.head_pruner is not None and row.head_id != VIRTUAL_ROOT_ID:
                 head_label = db.node(row.head_id).label
                 if not self.head_pruner.keeps_label(head_label):
@@ -81,14 +109,11 @@ class DataPathsIndex(PathIndex):
             else:
                 path_component = tag_ids
             key = encode_key((row.head_id, row.leaf_value, *path_component))
-            entries.append(
-                (key, (row.schema_path, row.id_list, row.leaf_value, row.head_id))
-            )
             self.entry_count += 1
             if row.head_id == VIRTUAL_ROOT_ID:
                 stat_key = (row.schema_path[-1], row.leaf_value)
                 self.value_counts[stat_key] = self.value_counts.get(stat_key, 0) + 1
-        self._tree.bulk_load(entries)
+            yield key, (row.schema_path, row.id_list, row.leaf_value, row.head_id)
 
     # ------------------------------------------------------------------
     # FreeIndex lookups

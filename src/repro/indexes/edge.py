@@ -36,6 +36,8 @@ class EdgeIndex(PathIndex):
         id_list_sublist="only last ID",
         indexed_columns=("HeadId", "SchemaPath", "LeafValue"),
     )
+    #: ``update()`` appends the new document's edges in place.
+    incremental = True
 
     def __init__(self, stats: Optional[StatsCollector] = None, order: int = 128) -> None:
         super().__init__(stats)
@@ -54,23 +56,43 @@ class EdgeIndex(PathIndex):
         self._tag_index = BPlusTree(self.order, self.stats, "edge_tag")
         self._forward_index = BPlusTree(self.order, self.stats, "edge_forward")
         self._backward_index = BPlusTree(self.order, self.stats, "edge_backward")
+        self.edge_count = 0
         for node in db.iter_structural():
-            parent = node.parent
-            parent_id = parent.node_id if parent is not None else None
-            parent_label = parent.label if parent is not None else None
-            value = node.first_value()
-            self.heap.append((parent_id, node.node_id, node.label, value))
-            self.edge_count += 1
-            self._tag_index.insert(encode_key((node.label,)), node.node_id)
-            if value is not None:
-                self._value_index.insert(encode_key((node.label, value)), node.node_id)
-            if parent_id is not None:
-                self._forward_index.insert(
-                    encode_key((parent_id, node.label)), node.node_id
-                )
-                self._backward_index.insert(
-                    encode_key((node.node_id,)), (parent_id, parent_label)
-                )
+            self._insert_node(node)
+
+    def _update(self, db: XmlDatabase, document) -> None:
+        """Incremental insertion: one Edge-table row (plus the value,
+        tag and link index entries) per structural node of the new
+        document — the per-edge layout makes Edge the cheapest index to
+        maintain."""
+        for node in document.iter_structural():
+            self._insert_node(node)
+
+    def _insert_node(self, node) -> None:
+        """Append one structural node's Edge row and index entries."""
+        assert (
+            self.heap is not None
+            and self._value_index is not None
+            and self._tag_index is not None
+            and self._forward_index is not None
+            and self._backward_index is not None
+        )
+        parent = node.parent
+        parent_id = parent.node_id if parent is not None else None
+        parent_label = parent.label if parent is not None else None
+        value = node.first_value()
+        self.heap.append((parent_id, node.node_id, node.label, value))
+        self.edge_count += 1
+        self._tag_index.insert(encode_key((node.label,)), node.node_id)
+        if value is not None:
+            self._value_index.insert(encode_key((node.label, value)), node.node_id)
+        if parent_id is not None:
+            self._forward_index.insert(
+                encode_key((parent_id, node.label)), node.node_id
+            )
+            self._backward_index.insert(
+                encode_key((node.node_id,)), (parent_id, parent_label)
+            )
 
     # ------------------------------------------------------------------
     # Lookup primitives used by the Edge / DG+Edge / IF+Edge strategies

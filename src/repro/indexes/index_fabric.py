@@ -56,7 +56,11 @@ class IndexFabricIndex(PathIndex):
 
     # ------------------------------------------------------------------
     def _build(self, db: XmlDatabase) -> None:
+        # No incremental ``update()``: the simulated fabric is rebuilt in
+        # full when a document is added (the base-class fall-back), as
+        # the layered-trie original would re-layer anyway.
         self._tree = BPlusTree(order=self.order, stats=self.stats, name=self.name)
+        self.entry_count = 0
         seen_paths: dict[LabelPath, None] = {}
         entries = []
         for row in iter_rootpaths_rows(db, include_values=True):

@@ -90,6 +90,10 @@ class JoinIndicesIndex(PathIndex):
 
     # ------------------------------------------------------------------
     def _build(self, db: XmlDatabase) -> None:
+        # No incremental ``update()``: like ASR, join indices are one
+        # relation pair per schema path, so document adds fall back to
+        # the base-class full rebuild.
+        self.relations = {}
         for row in iter_datapaths_rows(db, include_values=True):
             if row.head_id == VIRTUAL_ROOT_ID:
                 # Rooted pairs are covered by the rows headed at the

@@ -51,6 +51,8 @@ class RootPathsIndex(PathIndex):
         id_list_sublist="full IdList",
         indexed_columns=("LeafValue", "reverse SchemaPath"),
     )
+    #: ``update()`` inserts the new document's rows in place.
+    incremental = True
 
     def __init__(
         self,
@@ -73,25 +75,48 @@ class RootPathsIndex(PathIndex):
         self.value_counts: dict[tuple[str, Optional[str]], int] = {}
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction and maintenance
     # ------------------------------------------------------------------
     def _build(self, db: XmlDatabase) -> None:
         self._tree = BPlusTree(order=self.order, stats=self.stats, name=self.name)
-        entries = []
-        for row in iter_rootpaths_rows(db):
-            key_labels = self._key_labels(row.schema_path)
-            tag_ids = tuple(db.tags.intern(label) for label in key_labels)
-            if self.schema_path_dictionary and self._path_dictionary is not None:
-                path_component: tuple = (self._path_dictionary.intern(row.schema_path),)
-            else:
-                path_component = tag_ids
-            key = encode_key((row.leaf_value, *path_component))
-            ids = row.id_list if self.store_full_idlist else row.id_list[-1:]
-            entries.append((key, (row.schema_path, ids, row.leaf_value)))
-            self.entry_count += 1
-            stat_key = (row.schema_path[-1], row.leaf_value)
-            self.value_counts[stat_key] = self.value_counts.get(stat_key, 0) + 1
-        self._tree.bulk_load(entries)
+        self._path_dictionary = (
+            SchemaPathDictionary() if self.schema_path_dictionary else None
+        )
+        self.entry_count = 0
+        self.value_counts = {}
+        self._tree.bulk_load(self._entry_for_row(db, row) for row in iter_rootpaths_rows(db))
+
+    def _update(self, db: XmlDatabase, document) -> None:
+        """Incremental insertion (Section 3.2 layout, maintained in place).
+
+        Only the rows contributed by ``document`` are enumerated; each
+        becomes one B+-tree ``insert``.  Tags (and, under Section 4.2
+        compression, whole schema paths) first seen in the new document
+        grow the dictionaries exactly as a full build would, and the
+        catalog statistics in ``value_counts`` stay exact.
+        """
+        assert self._tree is not None
+        for row in iter_rootpaths_rows(db, documents=(document,)):
+            self._tree.insert(*self._entry_for_row(db, row))
+
+    def _entry_for_row(self, db: XmlDatabase, row) -> tuple:
+        """The ``(key, payload)`` entry one 4-ary row contributes.
+
+        Also maintains ``entry_count`` and the ``value_counts`` catalog
+        statistics, so build and incremental update cannot drift.
+        """
+        key_labels = self._key_labels(row.schema_path)
+        tag_ids = tuple(db.tags.intern(label) for label in key_labels)
+        if self.schema_path_dictionary and self._path_dictionary is not None:
+            path_component: tuple = (self._path_dictionary.intern(row.schema_path),)
+        else:
+            path_component = tag_ids
+        key = encode_key((row.leaf_value, *path_component))
+        ids = row.id_list if self.store_full_idlist else row.id_list[-1:]
+        self.entry_count += 1
+        stat_key = (row.schema_path[-1], row.leaf_value)
+        self.value_counts[stat_key] = self.value_counts.get(stat_key, 0) + 1
+        return key, (row.schema_path, ids, row.leaf_value)
 
     def _key_labels(self, labels: Sequence[str]) -> tuple[str, ...]:
         if self.reverse_schema_path:

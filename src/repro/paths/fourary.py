@@ -26,9 +26,9 @@ reverse it when building keys.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
-from ..xmltree.document import VIRTUAL_ROOT_ID, XmlDatabase
+from ..xmltree.document import Document, VIRTUAL_ROOT_ID, XmlDatabase
 from ..xmltree.nodes import Node
 from .schema_paths import LabelPath
 
@@ -48,15 +48,23 @@ class PathRow:
         return self.id_list[-1] if self.id_list else self.head_id
 
 
-def iter_rootpaths_rows(db: XmlDatabase, include_values: bool = True) -> Iterator[PathRow]:
+def iter_rootpaths_rows(
+    db: XmlDatabase,
+    include_values: bool = True,
+    documents: Optional[Sequence[Document]] = None,
+) -> Iterator[PathRow]:
     """Rows for every root-to-node path prefix (Figure 4 adaptation).
 
     ``HeadId`` is the virtual root for every row (and therefore not
     interesting); ``IdList`` contains the full path from the document
     root down to the node.  For each node with value children a second
     row per distinct value is emitted with ``LeafValue`` set.
+
+    ``documents`` restricts enumeration to a subset of the database's
+    documents — incremental index maintenance enumerates only the rows
+    a newly added document contributes.
     """
-    for document in db.documents:
+    for document in db.documents if documents is None else documents:
         stack: list[tuple[Node, LabelPath, tuple[int, ...]]] = [
             (document.root, (document.root.label,), (document.root.node_id,))
         ]
@@ -72,7 +80,11 @@ def iter_rootpaths_rows(db: XmlDatabase, include_values: bool = True) -> Iterato
                 )
 
 
-def iter_datapaths_rows(db: XmlDatabase, include_values: bool = True) -> Iterator[PathRow]:
+def iter_datapaths_rows(
+    db: XmlDatabase,
+    include_values: bool = True,
+    documents: Optional[Sequence[Document]] = None,
+) -> Iterator[PathRow]:
     """Rows for every subpath of every root-to-leaf path (Figure 5).
 
     For every structural node ``d`` and every ancestor-or-self head
@@ -82,8 +94,12 @@ def iter_datapaths_rows(db: XmlDatabase, include_values: bool = True) -> Iterato
     virtual root as head reproduce the ROOTPATHS rows so a single
     DATAPATHS index also solves the FreeIndex problem (Section 3.3,
     footnote 4).
+
+    ``documents`` restricts enumeration to a subset of the database's
+    documents (incremental maintenance), as for
+    :func:`iter_rootpaths_rows`.
     """
-    for document in db.documents:
+    for document in db.documents if documents is None else documents:
         stack: list[tuple[Node, LabelPath, tuple[int, ...]]] = [
             (document.root, (document.root.label,), (document.root.node_id,))
         ]

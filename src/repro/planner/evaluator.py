@@ -20,7 +20,7 @@ from ..query.match import NaiveMatcher
 from ..query.parser import parse_xpath
 from ..query.twig import TwigPattern
 from ..storage.stats import StatsCollector, weighted_cost
-from ..xmltree.document import XmlDatabase
+from ..xmltree.document import Document, XmlDatabase
 from .strategies import (
     AccessSupportRelationsStrategy,
     DataGuidePlusEdgeStrategy,
@@ -102,6 +102,12 @@ class TwigQueryEngine:
         #: Monotonic count of index builds — a cheap change signal for
         #: the service layer's cache invalidation.
         self.build_count = 0
+        #: Monotonic count of incremental maintenance passes (one per
+        #: :meth:`add_document` with built indexes).  The service layer
+        #: uses the distinction between this and ``build_count`` to keep
+        #: plan caches across incremental updates while invalidating
+        #: everything on rebuilds.
+        self.update_count = 0
 
     # ------------------------------------------------------------------
     # Index management
@@ -145,6 +151,40 @@ class TwigQueryEngine:
     def index_sizes_mb(self) -> dict[str, float]:
         """Sizes of every built index in MB (the Figure 9 row)."""
         return {name: index.estimated_size_mb() for name, index in self.indexes.items()}
+
+    # ------------------------------------------------------------------
+    # Document maintenance
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> Document:
+        """Add a document and maintain every built index.
+
+        The document is numbered into the database, then routed to each
+        built index's :meth:`~repro.indexes.base.PathIndex.update` —
+        incremental insertion where the index supports it, a full
+        rebuild otherwise — so no index keeps answering from the
+        pre-add snapshot.  The write work is charged to the shared
+        stats collector in the maintenance-cost currency
+        (:func:`~repro.storage.stats.maintenance_cost`).
+        """
+        added = self.db.add_document(document)
+        self.maintain_indexes(added)
+        return added
+
+    def maintain_indexes(self, document: Document) -> dict[str, bool]:
+        """Bring every built index up to date with one added document.
+
+        Returns a map of index name to whether it was maintained
+        incrementally (``True``) or fell back to a full rebuild
+        (``False``).  Bumps :attr:`update_count` so service-layer
+        generations notice the change even when the facade is bypassed.
+        """
+        maintained = {}
+        for name in sorted(self.indexes):
+            index = self.indexes[name]
+            index.update(self.db, document)
+            maintained[name] = index.incremental
+        self.update_count += 1
+        return maintained
 
     # ------------------------------------------------------------------
     # Query execution

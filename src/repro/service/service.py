@@ -20,9 +20,18 @@ repeated-query serving workload all of that is pure overhead.
   single shared stats snapshot and reports batch-level totals.
 
 The service watches a generation fingerprint of the database and the
-engine's index-build counter, so results cached before an
-``add_document`` / ``build_index`` can never be served afterwards even
-when the mutation bypassed the service's own :meth:`~QueryService.invalidate`.
+engine's index-build and index-maintenance counters, so results cached
+before an ``add_document`` / ``build_index`` can never be served
+afterwards even when the mutation bypassed the service's own
+:meth:`~QueryService.invalidate`.  The fingerprint distinguishes two
+kinds of change:
+
+* **incremental update** (a document was added and the built indexes
+  absorbed it in place): cached results and optimizer choices are
+  stale and dropped, but parsed plans and strategy instances stay —
+  an add changes answers, not the query language or the index set;
+* **rebuild** (an index was built or rebuilt): everything is dropped,
+  including the plan cache and the reusable strategy instances.
 """
 
 from __future__ import annotations
@@ -99,6 +108,10 @@ class QueryService:
         self._strategies: dict[tuple, EvaluationStrategy] = {}
         self._generation: Optional[tuple] = None
         self.invalidations = 0
+        #: How many invalidations only dropped results (incremental
+        #: document adds) vs flushed everything (index rebuilds).
+        self.result_invalidations = 0
+        self.full_invalidations = 0
         self.auto_choice_counts: dict[str, int] = {}
         self.last_choice: Optional[StrategyChoice] = None
 
@@ -119,25 +132,57 @@ class QueryService:
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
-    def invalidate(self) -> None:
-        """Drop every cached result (documents or indexes changed)."""
+    def invalidate(self, rebuilt: bool = True) -> None:
+        """Drop stale caches after a document or index change.
+
+        ``rebuilt=True`` (an index was built or rebuilt) flushes
+        everything: results, optimizer choices, parsed plans and the
+        reusable strategy instances.  ``rebuilt=False`` (a document was
+        added and the indexes were maintained in place) drops only the
+        result and choice caches — parsed plans and strategy instances
+        remain valid.  A ``rebuilt=False`` call that finds an
+        unobserved index build in the generation fingerprint escalates
+        to a full flush — adopting the build silently would skip the
+        rebuild contract.
+        """
+        current = self._current_generation()
+        if (
+            not rebuilt
+            and self._generation is not None
+            and current[1] != self._generation[1]
+        ):
+            rebuilt = True
+        self._flush(rebuilt)
+        self._generation = current
+
+    def _flush(self, rebuilt: bool) -> None:
         self.result_cache.clear()
         self.choice_cache.clear()
-        self._generation = self._current_generation()
+        if rebuilt:
+            self.plan_cache.clear()
+            self._strategies.clear()
+            self.full_invalidations += 1
+        else:
+            self.result_invalidations += 1
         self.invalidations += 1
 
     def _current_generation(self) -> tuple:
-        return (self.engine.db.revision, self.engine.build_count)
+        return (
+            self.engine.db.revision,
+            self.engine.build_count,
+            self.engine.update_count,
+        )
 
     def _check_generation(self) -> None:
         current = self._current_generation()
         if self._generation is None:
             self._generation = current
         elif current != self._generation:
-            self.result_cache.clear()
-            self.choice_cache.clear()
+            # A build_count move means an index was (re)built; a move in
+            # the database revision or the maintenance counter alone is
+            # an incremental update.
+            self._flush(rebuilt=current[1] != self._generation[1])
             self._generation = current
-            self.invalidations += 1
 
     # ------------------------------------------------------------------
     # Strategy reuse and auto choice
@@ -378,6 +423,8 @@ class QueryService:
             "strategy_instances": len(self._strategies),
             "auto_choice_counts": dict(self.auto_choice_counts),
             "invalidations": self.invalidations,
+            "result_invalidations": self.result_invalidations,
+            "full_invalidations": self.full_invalidations,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -97,8 +97,16 @@ class BPlusTree:
     # Insertion
     # ------------------------------------------------------------------
     def insert(self, key: EncodedKey, value: Any) -> None:
-        """Insert one entry; duplicate keys are allowed."""
+        """Insert one entry; duplicate keys are allowed.
+
+        Charges one ``btree_writes`` (per-entry CPU work) plus
+        ``btree_page_writes`` at page granularity: the leaf the entry
+        lands in, one page per node created by a split, and the new
+        root when the tree grows — the write-side counters priced by
+        :func:`~repro.storage.stats.maintenance_cost`.
+        """
         self.stats.btree_writes += 1
+        self.stats.btree_page_writes += 1  # the leaf holding the new entry
         split = self._insert(self._root, key, value)
         if split is not None:
             separator, right = split
@@ -107,6 +115,7 @@ class BPlusTree:
             new_root.children = [self._root, right]
             self._root = new_root
             self._height += 1
+            self.stats.btree_page_writes += 1  # the new root page
         self._size += 1
 
     def bulk_load(self, entries: Iterable[tuple[EncodedKey, Any]]) -> None:
@@ -137,6 +146,7 @@ class BPlusTree:
         return None
 
     def _split_leaf(self, leaf: _Leaf):
+        self.stats.btree_page_writes += 1  # the newly allocated right leaf
         middle = len(leaf.keys) // 2
         right = _Leaf()
         right.keys = leaf.keys[middle:]
@@ -148,6 +158,7 @@ class BPlusTree:
         return right.keys[0], right
 
     def _split_internal(self, node: _Internal):
+        self.stats.btree_page_writes += 1  # the newly allocated right node
         middle = len(node.keys) // 2
         separator = node.keys[middle]
         right = _Internal()
@@ -172,15 +183,19 @@ class BPlusTree:
         leaf = self._find_leaf(key, count=False)
         removed = 0
         while leaf is not None:
+            removed_here = 0
             index = bisect.bisect_left(leaf.keys, key)
             while index < len(leaf.keys) and leaf.keys[index] == key:
                 if value is None or leaf.values[index] == value:
                     del leaf.keys[index]
                     del leaf.values[index]
                     removed += 1
+                    removed_here += 1
                     self._size -= 1
                 else:
                     index += 1
+            if removed_here:
+                self.stats.btree_page_writes += 1  # the modified leaf
             if leaf.keys and leaf.keys[-1] > key:
                 break
             leaf = leaf.next

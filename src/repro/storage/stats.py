@@ -27,6 +27,12 @@ from typing import Iterator, Mapping
 #: aggregate cost proxy, relative to per-entry / per-comparison CPU work.
 PAGE_READ_WEIGHT = 10
 
+#: Weight of one page-granularity write in the maintenance cost proxy.
+#: Writes are priced in the same currency as reads so the cost of
+#: incremental index maintenance is directly comparable to (and
+#: benchmarkable against) the cost of rebuilding an index from scratch.
+PAGE_WRITE_WEIGHT = 10
+
 
 def weighted_cost(counters: Mapping[str, int]) -> int:
     """The aggregate cost proxy over a counter mapping.
@@ -34,7 +40,11 @@ def weighted_cost(counters: Mapping[str, int]) -> int:
     This is the single definition of the benchmark cost formula: both
     :meth:`StatsCollector.total_cost` and per-query cost dicts (see
     :class:`~repro.planner.evaluator.QueryResult`) are priced through it,
-    so the weighting cannot drift between the two.
+    so the weighting cannot drift between the two.  Write counters do
+    not contribute — queries never write, and charging build work to
+    the query that happened to trigger an on-demand build would skew
+    every figure; maintenance work is priced separately by
+    :func:`maintenance_cost` in the same currency.
     """
     return (
         PAGE_READ_WEIGHT
@@ -45,6 +55,23 @@ def weighted_cost(counters: Mapping[str, int]) -> int:
     )
 
 
+def maintenance_cost(counters: Mapping[str, int]) -> int:
+    """The aggregate cost proxy for index maintenance work.
+
+    Expressed in the same weighted currency as :func:`weighted_cost`
+    (pages dominate per-entry CPU work), so "incrementally insert one
+    document" and "rebuild the index from scratch" are comparable
+    numbers: page-granular B+-tree and heap writes carry
+    :data:`PAGE_WRITE_WEIGHT`, per-entry insert/delete work
+    (``btree_writes``) counts like a scanned entry.
+    """
+    return (
+        PAGE_WRITE_WEIGHT
+        * (counters.get("btree_page_writes", 0) + counters.get("heap_page_writes", 0))
+        + counters.get("btree_writes", 0)
+    )
+
+
 @dataclass
 class StatsCollector:
     """Mutable set of logical-cost counters shared by storage components."""
@@ -52,6 +79,7 @@ class StatsCollector:
     btree_node_reads: int = 0
     btree_entries_scanned: int = 0
     btree_writes: int = 0
+    btree_page_writes: int = 0
     heap_page_reads: int = 0
     heap_page_writes: int = 0
     index_lookups: int = 0
@@ -81,6 +109,15 @@ class StatsCollector:
         The formula lives in :func:`weighted_cost`.
         """
         return weighted_cost(self.snapshot())
+
+    def total_maintenance_cost(self) -> int:
+        """Aggregate write-side cost proxy (index builds and updates).
+
+        The formula lives in :func:`maintenance_cost` and shares the
+        page weighting of :meth:`total_cost`, so maintenance work is
+        benchmarkable against query work in one currency.
+        """
+        return maintenance_cost(self.snapshot())
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Counter deltas relative to an earlier :meth:`snapshot`."""

@@ -1,0 +1,207 @@
+"""Incremental index maintenance: differential harness and regressions.
+
+The tentpole invariant: for any sequence of document adds, a database
+whose indexes are maintained **incrementally** (one
+:meth:`~repro.indexes.base.PathIndex.update` per add) must answer every
+query identically to a database whose indexes are **rebuilt from
+scratch** after each add.  The harness replays randomized document
+sequences against both databases and diffs the answers of every
+strategy (and ``auto``) across a Figure-12-style generated workload.
+
+Also pinned here:
+
+* the stale-index regression — before the maintenance extension,
+  ``add_document`` after ``build_index`` left every index answering
+  from the pre-add snapshot,
+* that incremental maintenance is charged in the maintenance-cost
+  currency and is cheaper than a rebuild for a small delta document,
+* which indexes maintain in place vs fall back to a rebuild.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import TwigIndexDatabase
+from repro.datasets import book_document, generate_dblp, generate_xmark
+from repro.planner import DEFAULT_STRATEGIES
+from repro.service.service import AUTO_STRATEGY
+from repro.storage.stats import maintenance_cost
+from repro.workloads.generator import branch_count_sweep, generate_twig
+
+#: Every index of the family, by registry name.
+ALL_INDEXES = (
+    "rootpaths",
+    "datapaths",
+    "edge",
+    "dataguide",
+    "index_fabric",
+    "asr",
+    "join_index",
+)
+
+
+def _workload() -> list[str]:
+    """A Figure-12-style generated query workload (plus recursion)."""
+    queries = [
+        generated.xpath
+        for selectivity in ("selective", "moderate", "unselective")
+        for generated in branch_count_sweep(
+            selectivity, max_branches=2 if selectivity == "moderate" else 3
+        )
+    ]
+    queries.append(generate_twig(1, ["selective"], branch_depth="low").xpath)
+    queries.extend(
+        [
+            "/site/people/person/name",
+            "//person[name='Hagen Artosi']",
+            "/site/open_auctions/open_auction/time",
+        ]
+    )
+    return queries
+
+
+def _document_sequence(seed: int) -> list[tuple[float, int]]:
+    """Randomized (scale, seed) parameters for a grow-only sequence."""
+    rng = random.Random(seed)
+    return [
+        (rng.choice([0.02, 0.03, 0.04]), rng.randrange(1, 10_000))
+        for _ in range(3)
+    ]
+
+
+def _documents(parameters: list[tuple[float, int]]):
+    """Fresh document objects (documents cannot be shared across DBs)."""
+    return [
+        generate_xmark(scale=scale, seed=seed, name=f"xmark-{position}")
+        for position, (scale, seed) in enumerate(parameters)
+    ]
+
+
+@pytest.mark.parametrize("sequence_seed", [1, 2])
+def test_incremental_equals_rebuild_on_randomized_add_sequences(sequence_seed):
+    """The differential harness over every strategy including ``auto``."""
+    parameters = _document_sequence(sequence_seed)
+    workload = _workload()
+
+    incremental_docs = _documents(parameters)
+    rebuilt_docs = _documents(parameters)
+
+    incremental = TwigIndexDatabase.from_documents([incremental_docs[0]])
+    for name in ALL_INDEXES:
+        incremental.build_index(name)
+
+    for step in range(1, len(parameters) + 1):
+        if step > 1:
+            incremental.add_document(incremental_docs[step - 1])
+
+        rebuilt = TwigIndexDatabase.from_documents(rebuilt_docs[:step])
+        for name in ALL_INDEXES:
+            rebuilt.build_index(name)
+
+        for xpath in workload:
+            expected = rebuilt.oracle(xpath)
+            for strategy in DEFAULT_STRATEGIES + (AUTO_STRATEGY,):
+                incremental_ids = incremental.query(xpath, strategy=strategy).ids
+                rebuilt_ids = rebuilt.query(xpath, strategy=strategy).ids
+                assert incremental_ids == rebuilt_ids == expected, (
+                    f"step {step}, {strategy}, {xpath}: "
+                    f"incremental={incremental_ids} rebuilt={rebuilt_ids} "
+                    f"oracle={expected}"
+                )
+
+
+def test_add_document_after_build_index_is_not_stale():
+    """Regression: built indexes used to answer from the pre-add snapshot.
+
+    Before the maintenance extension this failed for every strategy —
+    ``add_document`` went straight to the raw database and no built
+    index saw the new document's nodes.
+    """
+    db = TwigIndexDatabase.from_documents([book_document()])
+    for name in ALL_INDEXES:
+        db.build_index(name)
+    first_ids = db.query("/book/title", strategy="rootpaths").ids
+    assert len(first_ids) == 1
+
+    added = db.add_document(book_document(name="second-book"))
+    new_title_id = next(
+        node.node_id
+        for node in added.iter_structural()
+        if node.label == "title"
+    )
+    expected = db.oracle("/book/title")
+    assert new_title_id in expected and len(expected) == 2
+    for strategy in DEFAULT_STRATEGIES + (AUTO_STRATEGY,):
+        ids = db.query(xpath := "/book/title", strategy=strategy).ids
+        assert ids == expected, f"{strategy} still stale on {xpath}: {ids}"
+
+
+def test_incremental_flags_match_the_documented_family():
+    """RP/DP/Edge/DataGuide maintain in place; the rest rebuild."""
+    db = TwigIndexDatabase.from_documents([book_document()])
+    maintained = {}
+    for name in ALL_INDEXES:
+        db.build_index(name)
+    report = db.engine.maintain_indexes(db.db.add_document(book_document(name="b2")))
+    maintained.update(report)
+    assert maintained == {
+        "rootpaths": True,
+        "datapaths": True,
+        "edge": True,
+        "dataguide": True,
+        "index_fabric": False,
+        "asr": False,
+        "join_index": False,
+    }
+
+
+def test_incremental_update_preserves_catalog_statistics():
+    """``value_counts`` after updates equals a from-scratch build's."""
+    docs_a = [generate_dblp(scale=0.03, seed=5, name="d0"),
+              generate_dblp(scale=0.02, seed=9, name="d1")]
+    docs_b = [generate_dblp(scale=0.03, seed=5, name="d0"),
+              generate_dblp(scale=0.02, seed=9, name="d1")]
+
+    incremental = TwigIndexDatabase.from_documents([docs_a[0]])
+    incremental.build_index("rootpaths")
+    incremental.build_index("datapaths")
+    incremental.add_document(docs_a[1])
+
+    rebuilt = TwigIndexDatabase.from_documents(docs_b)
+    rebuilt.build_index("rootpaths")
+    rebuilt.build_index("datapaths")
+
+    for name in ("rootpaths", "datapaths"):
+        left, right = incremental.indexes[name], rebuilt.indexes[name]
+        assert left.entry_count == right.entry_count, name
+        assert left.value_counts == right.value_counts, name
+
+
+def test_incremental_add_is_cheaper_than_rebuild_in_maintenance_currency():
+    """Grow-by-one: update() charges less than building from scratch."""
+    base = generate_xmark(scale=0.05, seed=7, name="base")
+    delta = generate_xmark(scale=0.01, seed=42, name="delta")
+
+    db = TwigIndexDatabase.from_documents([base])
+    for name in ("rootpaths", "datapaths", "edge", "dataguide"):
+        db.build_index(name)
+    build_cost = maintenance_cost(db.stats.snapshot())
+    assert build_cost > 0  # builds charge page writes now
+
+    before = db.stats.snapshot()
+    db.add_document(delta)
+    update_cost = maintenance_cost(db.stats.diff(before))
+    assert 0 < update_cost < build_cost, (update_cost, build_cost)
+
+
+def test_update_on_unbuilt_index_raises():
+    from repro.errors import IndexNotBuiltError
+    from repro.indexes import RootPathsIndex
+
+    db = TwigIndexDatabase.from_documents([book_document()])
+    index = RootPathsIndex()
+    with pytest.raises(IndexNotBuiltError):
+        index.update(db.db, db.db.documents[0])

@@ -218,6 +218,95 @@ def test_auto_choices_are_memoised_per_generation(service_db):
     assert len(service.choice_cache) == 0  # flushed with the generation
 
 
+def test_incremental_add_keeps_plans_and_strategies_drops_results(service_db):
+    # Generation semantics: an add maintained incrementally invalidates
+    # answers (result + choice caches) but not plans or strategy
+    # instances — an add changes answers, not query plans.
+    service = service_db.service
+    service_db.build_index("rootpaths")
+    service.execute("/book/title")
+    plan = service.plan("/book/title")
+    runner = service.strategy_instance("rootpaths")
+    assert len(service.result_cache) == 1
+
+    service_db.add_document(book_document(name="b2"))
+    assert len(service.result_cache) == 0
+    assert service.plan("/book/title") is plan  # plan cache survived
+    assert service.strategy_instance("rootpaths") is runner
+    assert service.result_invalidations == 1
+    assert service.full_invalidations >= 1  # the explicit build above
+
+
+def test_rebuild_invalidates_everything(service_db):
+    service = service_db.service
+    service_db.build_index("rootpaths")
+    service.execute("/book/title")
+    plan = service.plan("/book/title")
+    runner = service.strategy_instance("rootpaths")
+    full_before = service.full_invalidations
+
+    service_db.build_index("rootpaths")
+    assert len(service.result_cache) == 0
+    assert len(service.plan_cache) == 0
+    assert service.plan("/book/title") is not plan
+    assert service.strategy_instance("rootpaths") is not runner
+    assert service.full_invalidations == full_before + 1
+
+
+def test_out_of_band_incremental_add_detected_as_result_invalidation(service_db):
+    # engine.add_document bypasses the facade's invalidate(); the
+    # generation fingerprint must classify it as incremental (plans
+    # kept) rather than flushing everything.
+    service = service_db.service
+    service_db.build_index("rootpaths")
+    service.execute("/book/title")
+    plan = service.plan("/book/title")
+    result_before = service.result_invalidations
+
+    service_db.engine.add_document(book_document(name="b2"))
+    result = service.execute("/book/title")
+    assert not result.cached
+    assert result.ids == service_db.oracle("/book/title")
+    assert len(result.ids) == 2
+    assert service.plan("/book/title") is plan
+    assert service.result_invalidations == result_before + 1
+
+
+def test_add_after_out_of_band_rebuild_escalates_to_full_flush(service_db):
+    # An index rebuilt behind the service's back must not be absorbed
+    # by the weaker add-document invalidation: the unobserved
+    # build_count move escalates invalidate(rebuilt=False) to a full
+    # flush, honouring the rebuild contract.
+    service = service_db.service
+    service_db.build_index("rootpaths")
+    service.execute("/book/title")
+    plan = service.plan("/book/title")
+    full_before = service.full_invalidations
+
+    service_db.engine.build_index("rootpaths")  # out-of-band rebuild
+    service_db.add_document(book_document(name="b2"))
+    assert service.full_invalidations == full_before + 1
+    assert len(service.plan_cache) == 0
+    assert service.plan("/book/title") is not plan
+
+
+def test_execute_batch_correct_across_interleaved_adds(service_db):
+    queries = ["/book/title", "//author[fn='jane']"]
+    service_db.build_index("rootpaths")
+    first = service_db.execute_batch(queries + queries)
+    assert first.cache_hits == 2 and first.cache_misses == 2
+
+    service_db.add_document(book_document(name="b2"))
+    second = service_db.execute_batch(queries + queries)
+    # Nothing may be served from the pre-add cache...
+    assert second.cache_misses == 2 and second.cache_hits == 2
+    # ...and every answer reflects the post-add database.
+    for result in second:
+        assert result.ids == service_db.oracle(result.xpath), result.xpath
+    # Two books: 2 titles, and 2 jane-authors per book.
+    assert [len(result.ids) for result in second] == [2, 4, 2, 4]
+
+
 def test_execute_batch_shares_stats_and_counts_hits(service_db):
     queries = ["/book/title", "//author[fn='jane']", "/book/title", "/book/title"]
     batch = service_db.execute_batch(queries)

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import StorageError
 from repro.storage import BPlusTree, StatsCollector, encode_key
+from repro.storage.btree import _Internal, _Leaf
 
 
 def make_tree(order=8, stats=None):
@@ -132,6 +133,118 @@ def test_against_sorted_list_reference(pairs, order):
         expected = sorted(v for k, v in reference if k[: len(prefix)] == prefix)
         got = sorted(v for _k, v in tree.scan_prefix(prefix))
         assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Churn: random interleaved insert / delete / scan_prefix against a
+# sorted-dict oracle (the maintenance extension's workload shape).
+# ----------------------------------------------------------------------
+def _leaf_chain(tree: BPlusTree) -> list[_Leaf]:
+    """The leaf linked list, reached by descending leftmost pointers."""
+    node = tree._root
+    while isinstance(node, _Internal):
+        node = node.children[0]
+    leaves = []
+    while node is not None:
+        leaves.append(node)
+        node = node.next
+    return leaves
+
+
+def _leaf_depths(tree: BPlusTree) -> set[int]:
+    """Depths of every leaf reached through the internal structure."""
+    depths: set[int] = set()
+    stack = [(tree._root, 1)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, _Leaf):
+            depths.add(depth)
+        else:
+            stack.extend((child, depth + 1) for child in node.children)
+    return depths
+
+
+def _check_invariants(tree: BPlusTree, oracle: dict) -> None:
+    """Structural invariants the churn test enforces after every op."""
+    # Height: every leaf sits at the same depth, equal to the reported
+    # height (entry deletes never rebalance, but must not skew depths).
+    assert _leaf_depths(tree) == {tree.height}
+    # Leaf chain: globally non-decreasing keys, every entry reachable.
+    chained = [key for leaf in _leaf_chain(tree) for key in leaf.keys]
+    assert chained == sorted(chained)
+    assert len(chained) == len(tree) == sum(len(vs) for vs in oracle.values())
+    # Content: key-by-key multiset equality with the oracle.
+    by_key: dict = {}
+    for key, value in tree.scan_all():
+        by_key.setdefault(key, []).append(value)
+    assert {k: sorted(vs) for k, vs in by_key.items()} == {
+        k: sorted(vs) for k, vs in oracle.items() if vs
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=4, max_value=16),
+)
+def test_churn_against_sorted_dict_oracle(seed, order):
+    """Random insert/delete/scan_prefix churn preserves all invariants."""
+    rng = random.Random(seed)
+    tree = BPlusTree(order=order, stats=StatsCollector())
+    oracle: dict = {}
+    for step in range(150):
+        roll = rng.random()
+        first, second = rng.randrange(12), rng.randrange(4)
+        key = encode_key((first, second))
+        if roll < 0.55 or not any(oracle.values()):
+            value = (first, second, step)
+            tree.insert(key, value)
+            oracle.setdefault(key, []).append(value)
+        elif roll < 0.7:
+            victims = oracle.get(key, [])
+            expected = len(victims)
+            assert tree.delete(key) == expected
+            oracle[key] = []
+        elif roll < 0.8 and oracle.get(key):
+            victim = rng.choice(oracle[key])
+            assert tree.delete(key, value=victim) == 1
+            oracle[key].remove(victim)
+        else:
+            prefix = encode_key((first,))
+            expected = sorted(
+                v
+                for k, values in oracle.items()
+                for v in values
+                if k[: len(prefix)] == prefix
+            )
+            got = sorted(v for _k, v in tree.scan_prefix(prefix))
+            assert got == expected
+            assert tree.count_prefix(prefix) == len(expected)
+        _check_invariants(tree, oracle)
+
+
+def test_delete_charges_page_writes():
+    stats = StatsCollector()
+    tree = BPlusTree(order=4, stats=stats)
+    for i in range(20):
+        tree.insert(encode_key(("k", i)), i)
+    stats.reset()
+    assert tree.delete(encode_key(("k", 3))) == 1
+    assert stats.btree_page_writes >= 1
+    assert stats.btree_writes >= 1
+
+
+def test_insert_charges_page_writes_for_leaf_and_splits():
+    stats = StatsCollector()
+    tree = BPlusTree(order=4, stats=stats)
+    tree.insert(encode_key((0,)), 0)
+    assert stats.btree_page_writes == 1  # just the leaf
+    before = stats.btree_page_writes
+    for i in range(1, 5):
+        tree.insert(encode_key((i,)), i)
+    # The 5th entry overflows the order-4 leaf: new right leaf + new root.
+    assert tree.height == 2
+    assert stats.btree_page_writes == before + 4 + 2
 
 
 @settings(max_examples=25, deadline=None)

@@ -2,7 +2,12 @@
 
 from repro.planner import QueryResult
 from repro.storage import GLOBAL_STATS, HeapFile, StatsCollector
-from repro.storage.stats import PAGE_READ_WEIGHT, weighted_cost
+from repro.storage.stats import (
+    PAGE_READ_WEIGHT,
+    PAGE_WRITE_WEIGHT,
+    maintenance_cost,
+    weighted_cost,
+)
 
 
 def test_heap_append_and_scan_counts_pages():
@@ -70,11 +75,29 @@ def test_total_cost_weights_are_pinned():
         index_lookups=13,     # must not contribute
         tuples_produced=17,   # must not contribute
         btree_writes=19,      # must not contribute
+        btree_page_writes=21,  # must not contribute
         heap_page_writes=23,  # must not contribute
     )
     assert PAGE_READ_WEIGHT == 10
     assert stats.total_cost() == 10 * (2 + 3) + 5 + 7 + 11 == 73
     assert weighted_cost(stats.snapshot()) == stats.total_cost()
+
+
+def test_maintenance_cost_weights_are_pinned():
+    # The write-side currency: page-granular writes dominate per-entry
+    # insert work; reads and query CPU counters must not contribute.
+    stats = StatsCollector(
+        btree_page_writes=2,
+        heap_page_writes=3,
+        btree_writes=5,
+        btree_node_reads=7,       # must not contribute
+        heap_page_reads=11,       # must not contribute
+        btree_entries_scanned=13,  # must not contribute
+        join_probes=17,           # must not contribute
+    )
+    assert PAGE_WRITE_WEIGHT == 10
+    assert stats.total_maintenance_cost() == 10 * (2 + 3) + 5 == 55
+    assert maintenance_cost(stats.snapshot()) == stats.total_maintenance_cost()
 
 
 def test_query_result_cost_delegates_to_shared_formula():
