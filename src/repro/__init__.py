@@ -11,6 +11,7 @@ needed to regenerate every table and figure of the paper's evaluation.
 Typical entry points:
 
 * :class:`TwigIndexDatabase` — load XML, build indices, run twig queries,
+* :mod:`repro.shard` — sharded collections with scatter-gather execution,
 * :mod:`repro.datasets` — synthetic XMark-like and DBLP-like documents,
 * :mod:`repro.workloads` — the Q1x–Q15x / Q1d–Q3d query workload,
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
@@ -30,6 +31,7 @@ from .errors import (
 from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
 from .query.parser import normalize_xpath, parse_xpath
 from .service import AUTO_STRATEGY, BatchResult, QueryService
+from .shard import ShardedCollection, ShardedQueryService
 from .xmltree.document import Document, TreeBuilder, XmlDatabase
 from .xmltree.parser import parse_file, parse_string
 
@@ -47,6 +49,8 @@ __all__ = [
     "QueryResult",
     "QueryService",
     "ReproError",
+    "ShardedCollection",
+    "ShardedQueryService",
     "StorageError",
     "TreeBuilder",
     "TwigIndexDatabase",

@@ -83,11 +83,11 @@ class TwigIndexDatabase:
         rebuild for the rest), so queries keep seeing the whole
         database.  The service layer drops cached results and optimizer
         choices but keeps parsed plans and strategy instances — an add
-        changes answers, not query plans.
+        changes answers, not query plans.  The whole mutation runs
+        under the service lock, so concurrent readers serialize against
+        it instead of observing half-maintained indexes.
         """
-        added = self.engine.add_document(document)
-        self.service.invalidate(rebuilt=False)
-        return added
+        return self.service.add_document(document)
 
     # ------------------------------------------------------------------
     # Indexing
@@ -99,11 +99,11 @@ class TwigIndexDatabase:
         ``dataguide``, ``index_fabric``, ``asr``, ``join_index``.
         Once built, an index is kept current by :meth:`add_document`.
         Rebuilding an index flushes every service-layer cache (results,
-        plans, optimizer choices, strategy instances).
+        plans, optimizer choices, strategy instances); the build runs
+        under the service lock so concurrent readers never probe a
+        half-built index.
         """
-        index = self.engine.build_index(name, **options)
-        self.service.invalidate()
-        return index
+        return self.service.build_index(name, **options)
 
     def build_all_indexes(self) -> None:
         """Build every index required by the default strategy set."""
@@ -186,6 +186,15 @@ class TwigIndexDatabase:
     def node(self, node_id: int):
         """Resolve a node id returned by a query back to its tree node."""
         return self.db.node(node_id)
+
+    def document_spans(self) -> list[tuple[str, int, int]]:
+        """Per-document ``(name, first_id, end_id)`` node-id spans.
+
+        The global id intervals the sharded tier's differential tests
+        and document-scoped queries compare against; see
+        :meth:`~repro.xmltree.document.XmlDatabase.document_spans`.
+        """
+        return self.db.document_spans()
 
     def describe(self) -> dict[str, object]:
         """Summary statistics of the loaded data (handy in examples)."""

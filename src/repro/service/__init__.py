@@ -4,14 +4,21 @@ Sits between the :class:`~repro.engine.TwigIndexDatabase` facade and the
 :class:`~repro.planner.evaluator.TwigQueryEngine`, amortising per-query
 setup (parsing, index checks, strategy construction) across a serving
 workload and delegating strategy choice to the planner's cost models.
+
+:class:`ServingFacade` holds the engine-count-agnostic machinery (batch
+loop, cache keys, counter reporting); :class:`QueryService` is the
+single-engine serving tier; the horizontally partitioned tier lives in
+:mod:`repro.shard` and shares the same facade base.
 """
 
+from .base import AUTO_STRATEGY, BatchResult, ServingFacade
 from .cache import LRUCache
-from .service import AUTO_STRATEGY, BatchResult, QueryService
+from .service import QueryService
 
 __all__ = [
     "AUTO_STRATEGY",
     "BatchResult",
     "LRUCache",
     "QueryService",
+    "ServingFacade",
 ]

@@ -1,0 +1,162 @@
+"""Shared machinery of the single-node and sharded query services.
+
+:class:`ServingFacade` factors out everything that does not care
+whether execution happens on one engine or is scattered across shards:
+
+* the batch loop (:meth:`~ServingFacade.execute_batch`) with its shared
+  stats window, cache-hit accounting and per-strategy counts,
+* hashable cache keys for (query, strategy, options) triples,
+* defensive copies of cached :class:`QueryResult` objects,
+* cache counter reporting for ``describe()``.
+
+Subclasses provide :meth:`~ServingFacade.execute` plus the two stats
+hooks (:meth:`~ServingFacade._stats_snapshot` /
+:meth:`~ServingFacade._stats_diff`), which is exactly where one engine
+and N shards differ: the sharded tier snapshots every shard's collector
+and sums the diffs through
+:func:`~repro.storage.stats.sum_snapshots`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..planner.evaluator import QueryResult
+from ..query.parser import normalize_xpath
+from ..query.twig import TwigPattern
+from ..storage.stats import weighted_cost
+from .cache import LRUCache
+
+#: The pseudo-strategy name that delegates plan choice to the optimizer.
+AUTO_STRATEGY = "auto"
+
+
+@dataclass
+class BatchResult:
+    """The answers to one query batch plus batch-level measurements.
+
+    ``cost`` is the delta of one shared stats snapshot taken around the
+    whole batch, so it prices exactly the logical work the batch charged
+    — cached answers contribute nothing to it.
+    """
+
+    results: list[QueryResult]
+    elapsed_seconds: float
+    cost: dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    strategy_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> int:
+        """Weighted logical cost of the whole batch (shared formula)."""
+        return weighted_cost(self.cost)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class ServingFacade:
+    """Common batch execution and cache accounting for query services."""
+
+    # ------------------------------------------------------------------
+    # Hooks subclasses implement
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Union[str, TwigPattern],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> QueryResult:
+        raise NotImplementedError
+
+    def _stats_snapshot(self):
+        """An opaque stats checkpoint taken before a batch runs."""
+        raise NotImplementedError
+
+    def _stats_diff(self, before) -> dict[str, int]:
+        """Counter deltas since a :meth:`_stats_snapshot` checkpoint."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Batch execution (shared)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        queries: Iterable[Union[str, TwigPattern]],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> BatchResult:
+        """Evaluate many queries under one shared stats window.
+
+        Returns a :class:`BatchResult` whose ``cost`` is the counter
+        delta across the whole batch — the logical work actually
+        charged, with repeated queries served from the result cache for
+        free.
+        """
+        before = self._stats_snapshot()
+        started = time.perf_counter()
+        results: list[QueryResult] = []
+        hits = 0
+        strategy_counts: dict[str, int] = {}
+        for query in queries:
+            result = self.execute(
+                query,
+                strategy=strategy,
+                use_result_cache=use_result_cache,
+                **strategy_options,
+            )
+            hits += 1 if result.cached else 0
+            strategy_counts[result.strategy] = (
+                strategy_counts.get(result.strategy, 0) + 1
+            )
+            results.append(result)
+        elapsed = time.perf_counter() - started
+        return BatchResult(
+            results=results,
+            elapsed_seconds=elapsed,
+            cost=self._stats_diff(before),
+            cache_hits=hits,
+            cache_misses=len(results) - hits,
+            strategy_counts=strategy_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache key and copy helpers (shared)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _options_key(name: str, options: dict) -> Optional[tuple]:
+        try:
+            key = (name, tuple(sorted(options.items())))
+            hash(key)  # building the tuple alone never hashes the values
+        except TypeError:
+            # Unhashable option values cannot key the caches.
+            return None
+        return key
+
+    def _result_key(
+        self, xpath: str, strategy: str, strategy_options: dict
+    ) -> Optional[tuple]:
+        options_key = self._options_key(strategy, strategy_options)
+        if options_key is None:
+            return None
+        return (normalize_xpath(xpath), options_key)
+
+    @staticmethod
+    def _copy_result(result: QueryResult, cached: bool = False) -> QueryResult:
+        return dataclasses.replace(
+            result, ids=list(result.ids), cost=dict(result.cost), cached=cached
+        )
+
+    @staticmethod
+    def _cache_report(cache: LRUCache) -> dict[str, object]:
+        """One cache's counters for ``describe()`` (incl. TTL admission)."""
+        return cache.describe()

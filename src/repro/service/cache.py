@@ -1,4 +1,4 @@
-"""A small LRU cache with hit/miss accounting for the service layer.
+"""A small thread-safe LRU cache with TTL admission and hit/miss accounting.
 
 ``functools.lru_cache`` memoises a function, but the service needs an
 *object* it can clear on invalidation, size per service instance and
@@ -6,12 +6,26 @@ introspect for its statistics — hence this minimal OrderedDict-based
 implementation.  A ``max_size`` of zero disables caching entirely (every
 ``get`` misses, ``put`` is a no-op), which lets callers switch a cache
 off without branching at every call site.
+
+Two serving-tier concerns live here as well:
+
+* **Thread safety** — every operation runs under one re-entrant lock,
+  so the scatter-gather execution tier can share a cache between a
+  request thread and the maintenance path without corrupting the
+  recency list or the counters.
+* **Admission control** — an optional ``ttl_seconds`` bounds how long
+  an entry may be served after it was put; expired entries count as
+  misses and are dropped on access (lazily — there is no sweeper
+  thread), tracked by the ``expiries`` counter next to capacity
+  ``evictions``.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
-from typing import Hashable, Iterator, Optional, TypeVar
+from typing import Callable, Hashable, Iterator, Optional, TypeVar
 
 V = TypeVar("V")
 
@@ -19,58 +33,135 @@ _MISSING = object()
 
 
 class LRUCache:
-    """Least-recently-used mapping bounded to ``max_size`` entries."""
+    """Least-recently-used mapping bounded to ``max_size`` entries.
 
-    def __init__(self, max_size: int) -> None:
+    Parameters
+    ----------
+    max_size:
+        Capacity bound; the least recently used entry is evicted past it.
+        Zero disables the cache.
+    ttl_seconds:
+        Optional time-to-live per entry.  An entry older than this at
+        lookup time is treated as a miss and dropped (``expiries`` is
+        bumped instead of ``evictions``).  ``None`` keeps entries until
+        evicted or cleared.
+    clock:
+        Monotonic time source, injectable so tests can advance time
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        max_size: int,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if max_size < 0:
             raise ValueError(f"cache size cannot be negative: {max_size}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl must be positive or None: {ttl_seconds}")
         self.max_size = max_size
+        self.ttl_seconds = ttl_seconds
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.expiries = 0
+        self._clock = clock
+        self._lock = threading.RLock()
+        #: key -> (expiry deadline or None, value)
+        self._entries: OrderedDict[Hashable, tuple[Optional[float], object]] = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default: Optional[V] = None):
-        """The cached value (refreshing its recency), else ``default``."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        """The cached value (refreshing its recency), else ``default``.
+
+        A value past its TTL deadline is dropped and counted as a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self.misses += 1
+                return default
+            deadline, value = entry
+            if deadline is not None and self._clock() >= deadline:
+                del self._entries[key]
+                self.expiries += 1
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value) -> None:
-        """Insert or refresh one entry, evicting the oldest past capacity."""
-        if self.max_size == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        """Insert or refresh one entry, evicting the oldest past capacity.
+
+        A refresh restarts the entry's TTL deadline: admission is dated
+        from the most recent put, not the first.
+        """
+        with self._lock:
+            if self.max_size == 0:
+                return
+            deadline = (
+                self._clock() + self.ttl_seconds
+                if self.ttl_seconds is not None
+                else None
+            )
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (deadline, value)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return False
+            deadline, _ = entry
+            if deadline is not None and self._clock() >= deadline:
+                # Drop the corpse now so size reports stay truthful; a
+                # membership probe is not a lookup, so no miss is charged.
+                del self._entries[key]
+                self.expiries += 1
+                return False
+            return True
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def describe(self) -> dict[str, object]:
+        """Counter snapshot for service ``describe()`` reports."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "ttl_seconds": self.ttl_seconds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "expiries": self.expiries,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

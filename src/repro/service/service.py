@@ -14,8 +14,9 @@ repeated-query serving workload all of that is pure overhead.
   (:func:`~repro.planner.optimizer.choose_strategy`, fed by the index
   catalog's ``estimate_matches`` statistics) for the estimated-cheapest
   strategy per query,
-* an optional LRU **result cache**, invalidated whenever the document
-  set or the built indexes change,
+* an optional LRU **result cache** (with an optional TTL admission
+  policy), invalidated whenever the document set or the built indexes
+  change,
 * :meth:`~QueryService.execute_batch`, which runs many queries under a
   single shared stats snapshot and reports batch-level totals.
 
@@ -32,14 +33,20 @@ kinds of change:
   an add changes answers, not the query language or the index set;
 * **rebuild** (an index was built or rebuilt): everything is dropped,
   including the plan cache and the reusable strategy instances.
+
+Every public entry point runs under one re-entrant lock, so a service
+(and therefore one shard of a
+:class:`~repro.shard.ShardedQueryService`) can be hammered by reader
+threads while another thread adds documents: execution, cache
+invalidation and index maintenance serialize per service, and the
+sharded tier gets its parallelism *across* shards, each with its own
+lock, engine and stats collector.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Union
+import threading
+from typing import Optional, Sequence, Union
 
 from ..errors import PlanningError
 from ..planner.evaluator import QueryResult, STRATEGY_TYPES, TwigQueryEngine
@@ -48,42 +55,14 @@ from ..planner.optimizer import AUTO_CANDIDATES, StrategyChoice, choose_strategy
 from ..planner.strategies import EvaluationStrategy
 from ..query.parser import normalize_xpath, parse_xpath
 from ..query.twig import TwigPattern
-from ..storage.stats import weighted_cost
+from ..xmltree.document import Document
+from .base import AUTO_STRATEGY, BatchResult, ServingFacade
 from .cache import LRUCache
 
-#: The pseudo-strategy name that delegates plan choice to the optimizer.
-AUTO_STRATEGY = "auto"
+__all__ = ["AUTO_STRATEGY", "BatchResult", "QueryService"]
 
 
-@dataclass
-class BatchResult:
-    """The answers to one query batch plus batch-level measurements.
-
-    ``cost`` is the delta of one shared stats snapshot taken around the
-    whole batch, so it prices exactly the logical work the batch charged
-    — cached answers contribute nothing to it.
-    """
-
-    results: list[QueryResult]
-    elapsed_seconds: float
-    cost: dict[str, int] = field(default_factory=dict)
-    cache_hits: int = 0
-    cache_misses: int = 0
-    strategy_counts: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def total_cost(self) -> int:
-        """Weighted logical cost of the whole batch (shared formula)."""
-        return weighted_cost(self.cost)
-
-    def __len__(self) -> int:
-        return len(self.results)
-
-    def __iter__(self):
-        return iter(self.results)
-
-
-class QueryService:
+class QueryService(ServingFacade):
     """A serving facade over :class:`TwigQueryEngine` for repeated queries."""
 
     def __init__(
@@ -91,11 +70,12 @@ class QueryService:
         engine: TwigQueryEngine,
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
+        result_cache_ttl: Optional[float] = None,
         auto_candidates: Sequence[str] = AUTO_CANDIDATES,
     ) -> None:
         self.engine = engine
         self.plan_cache = LRUCache(plan_cache_size)
-        self.result_cache = LRUCache(result_cache_size)
+        self.result_cache = LRUCache(result_cache_size, ttl_seconds=result_cache_ttl)
         #: Memoised StrategyChoice per normalized query; flushed with the
         #: result cache (a choice depends on the built-index generation).
         self.choice_cache = LRUCache(plan_cache_size)
@@ -107,6 +87,8 @@ class QueryService:
                 )
         self._strategies: dict[tuple, EvaluationStrategy] = {}
         self._generation: Optional[tuple] = None
+        #: Serializes execution against document adds and index builds.
+        self._lock = threading.RLock()
         self.invalidations = 0
         #: How many invalidations only dropped results (incremental
         #: document adds) vs flushed everything (index rebuilds).
@@ -122,12 +104,41 @@ class QueryService:
         """The parsed twig for a query, served from the plan cache."""
         if isinstance(query, TwigPattern):
             return query
-        key = normalize_xpath(query)
-        twig = self.plan_cache.get(key)
-        if twig is None:
-            twig = parse_xpath(query)
-            self.plan_cache.put(key, twig)
-        return twig
+        with self._lock:
+            key = normalize_xpath(query)
+            twig = self.plan_cache.get(key)
+            if twig is None:
+                twig = parse_xpath(query)
+                self.plan_cache.put(key, twig)
+            return twig
+
+    # ------------------------------------------------------------------
+    # Mutation (locked against execution)
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> Document:
+        """Add a document through the engine under the service lock.
+
+        Built indexes absorb the document incrementally where they can
+        (see :meth:`TwigQueryEngine.add_document`); cached results and
+        optimizer choices are dropped, parsed plans and strategy
+        instances survive.  Readers in other threads never observe the
+        half-maintained state because they serialize on the same lock.
+        """
+        with self._lock:
+            added = self.engine.add_document(document)
+            self.invalidate(rebuilt=False)
+            return added
+
+    def build_index(self, name: str, **options):
+        """Build (or rebuild) an index under the service lock.
+
+        Flushes every cache tier: a rebuild invalidates results, plans,
+        optimizer choices and strategy instances alike.
+        """
+        with self._lock:
+            index = self.engine.build_index(name, **options)
+            self.invalidate(rebuilt=True)
+            return index
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -145,15 +156,16 @@ class QueryService:
         to a full flush — adopting the build silently would skip the
         rebuild contract.
         """
-        current = self._current_generation()
-        if (
-            not rebuilt
-            and self._generation is not None
-            and current[1] != self._generation[1]
-        ):
-            rebuilt = True
-        self._flush(rebuilt)
-        self._generation = current
+        with self._lock:
+            current = self._current_generation()
+            if (
+                not rebuilt
+                and self._generation is not None
+                and current[1] != self._generation[1]
+            ):
+                rebuilt = True
+            self._flush(rebuilt)
+            self._generation = current
 
     def _flush(self, rebuilt: bool) -> None:
         self.result_cache.clear()
@@ -191,31 +203,22 @@ class QueryService:
         self, name: str, **strategy_options
     ) -> EvaluationStrategy:
         """A reusable strategy instance (required indexes built on demand)."""
-        self.engine.ensure_indexes_for(name)
-        key = self._options_key(name, strategy_options)
-        if key is None:
-            return self.engine.strategy(name, **strategy_options)
-        instance = self._strategies.get(key)
-        if instance is None:
-            strategy_class = STRATEGY_TYPES[name]
-            instance = strategy_class(
-                self.engine.db,
-                self.engine.indexes,
-                stats=self.engine.stats,
-                **strategy_options,
-            )
-            self._strategies[key] = instance
-        return instance
-
-    @staticmethod
-    def _options_key(name: str, options: dict) -> Optional[tuple]:
-        try:
-            key = (name, tuple(sorted(options.items())))
-            hash(key)  # building the tuple alone never hashes the values
-        except TypeError:
-            # Unhashable option values cannot key the caches.
-            return None
-        return key
+        with self._lock:
+            self.engine.ensure_indexes_for(name)
+            key = self._options_key(name, strategy_options)
+            if key is None:
+                return self.engine.strategy(name, **strategy_options)
+            instance = self._strategies.get(key)
+            if instance is None:
+                strategy_class = STRATEGY_TYPES[name]
+                instance = strategy_class(
+                    self.engine.db,
+                    self.engine.indexes,
+                    stats=self.engine.stats,
+                    **strategy_options,
+                )
+                self._strategies[key] = instance
+            return instance
 
     def choose(self, query: Union[str, TwigPattern]) -> StrategyChoice:
         """The optimizer's strategy pick for one query (``auto`` mode).
@@ -226,10 +229,11 @@ class QueryService:
         Choices are memoised per normalized query until the document
         set or the built indexes change.
         """
-        self._check_generation()
-        twig = self.plan(query)
-        xpath = query if isinstance(query, str) else twig.to_xpath()
-        return self._choose_cached(twig, xpath)
+        with self._lock:
+            self._check_generation()
+            twig = self.plan(query)
+            xpath = query if isinstance(query, str) else twig.to_xpath()
+            return self._choose_cached(twig, xpath)
 
     def _choose_cached(self, twig: TwigPattern, xpath: str) -> StrategyChoice:
         key = normalize_xpath(xpath)
@@ -303,38 +307,26 @@ class QueryService:
         answers come back with ``cached=True`` and the cost counters of
         the execution that produced them.
         """
-        self._check_generation()
-        twig = self.plan(query)
-        xpath = query if isinstance(query, str) else twig.to_xpath()
-        cache_key = self._result_key(xpath, strategy, strategy_options)
-        if use_result_cache and cache_key is not None:
-            hit = self.result_cache.get(cache_key)
-            if hit is not None:
-                return self._copy_result(hit, cached=True)
-        result = self._execute_uncached(twig, xpath, strategy, strategy_options)
-        # An on-demand index build during execution bumps the generation;
-        # the result reflects the post-build state, so adopt it before
-        # caching rather than letting the next call flush this entry.
-        self._generation = self._current_generation()
-        if use_result_cache and cache_key is not None:
-            # Cache a private copy: the caller owns the returned object
-            # and may mutate its ids/cost without poisoning later hits.
-            self.result_cache.put(cache_key, self._copy_result(result))
-        return result
-
-    @staticmethod
-    def _copy_result(result: QueryResult, cached: bool = False) -> QueryResult:
-        return dataclasses.replace(
-            result, ids=list(result.ids), cost=dict(result.cost), cached=cached
-        )
-
-    def _result_key(
-        self, xpath: str, strategy: str, strategy_options: dict
-    ) -> Optional[tuple]:
-        options_key = self._options_key(strategy, strategy_options)
-        if options_key is None:
-            return None
-        return (normalize_xpath(xpath), options_key)
+        with self._lock:
+            self._check_generation()
+            twig = self.plan(query)
+            xpath = query if isinstance(query, str) else twig.to_xpath()
+            cache_key = self._result_key(xpath, strategy, strategy_options)
+            if use_result_cache and cache_key is not None:
+                hit = self.result_cache.get(cache_key)
+                if hit is not None:
+                    return self._copy_result(hit, cached=True)
+            result = self._execute_uncached(twig, xpath, strategy, strategy_options)
+            # An on-demand index build during execution bumps the
+            # generation; the result reflects the post-build state, so
+            # adopt it before caching rather than letting the next call
+            # flush this entry.
+            self._generation = self._current_generation()
+            if use_result_cache and cache_key is not None:
+                # Cache a private copy: the caller owns the returned object
+                # and may mutate its ids/cost without poisoning later hits.
+                self.result_cache.put(cache_key, self._copy_result(result))
+            return result
 
     def _execute_uncached(
         self, twig: TwigPattern, xpath: str, strategy: str, strategy_options: dict
@@ -358,74 +350,29 @@ class QueryService:
         runner = self.strategy_instance(strategy, **strategy_options)
         return self.engine.execute_prepared(runner, twig, xpath=xpath)
 
-    def execute_batch(
-        self,
-        queries: Iterable[Union[str, TwigPattern]],
-        strategy: str = AUTO_STRATEGY,
-        use_result_cache: bool = True,
-        **strategy_options,
-    ) -> BatchResult:
-        """Evaluate many queries under one shared stats snapshot.
+    # ------------------------------------------------------------------
+    # Stats hooks for the shared batch loop
+    # ------------------------------------------------------------------
+    def _stats_snapshot(self):
+        return self.engine.stats.snapshot()
 
-        Returns a :class:`BatchResult` whose ``cost`` is the counter
-        delta across the whole batch — the logical work actually
-        charged, with repeated queries served from the result cache for
-        free.
-        """
-        before = self.engine.stats.snapshot()
-        started = time.perf_counter()
-        results: list[QueryResult] = []
-        hits = 0
-        strategy_counts: dict[str, int] = {}
-        for query in queries:
-            result = self.execute(
-                query,
-                strategy=strategy,
-                use_result_cache=use_result_cache,
-                **strategy_options,
-            )
-            hits += 1 if result.cached else 0
-            strategy_counts[result.strategy] = (
-                strategy_counts.get(result.strategy, 0) + 1
-            )
-            results.append(result)
-        elapsed = time.perf_counter() - started
-        return BatchResult(
-            results=results,
-            elapsed_seconds=elapsed,
-            cost=self.engine.stats.diff(before),
-            cache_hits=hits,
-            cache_misses=len(results) - hits,
-            strategy_counts=strategy_counts,
-        )
+    def _stats_diff(self, before) -> dict[str, int]:
+        return self.engine.stats.diff(before)
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
         """Cache and optimizer counters (for logs and benchmarks)."""
-        return {
-            "plan_cache": {
-                "size": len(self.plan_cache),
-                "hits": self.plan_cache.hits,
-                "misses": self.plan_cache.misses,
-                "hit_rate": self.plan_cache.hit_rate,
-            },
-            "result_cache": {
-                "size": len(self.result_cache),
-                "hits": self.result_cache.hits,
-                "misses": self.result_cache.misses,
-                "hit_rate": self.result_cache.hit_rate,
-            },
-            "choice_cache": {
-                "size": len(self.choice_cache),
-                "hits": self.choice_cache.hits,
-                "misses": self.choice_cache.misses,
-            },
-            "strategy_instances": len(self._strategies),
-            "auto_choice_counts": dict(self.auto_choice_counts),
-            "invalidations": self.invalidations,
-            "result_invalidations": self.result_invalidations,
-            "full_invalidations": self.full_invalidations,
-        }
+        with self._lock:
+            return {
+                "plan_cache": self._cache_report(self.plan_cache),
+                "result_cache": self._cache_report(self.result_cache),
+                "choice_cache": self._cache_report(self.choice_cache),
+                "strategy_instances": len(self._strategies),
+                "auto_choice_counts": dict(self.auto_choice_counts),
+                "invalidations": self.invalidations,
+                "result_invalidations": self.result_invalidations,
+                "full_invalidations": self.full_invalidations,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,38 @@
+"""Sharded collections with parallel scatter-gather query execution.
+
+The horizontal-scaling tier over the paper's index family: a
+:class:`ShardedCollection` partitions documents across N self-contained
+shards (each with its own database, indexes, statistics and
+single-node :class:`~repro.service.QueryService`), and a
+:class:`ShardedQueryService` fans twig queries out to the relevant
+shards on a thread pool, translating and merging the per-shard answers
+into the global id space so the sharded tier is answer-identical to a
+single engine.
+
+Placement is pluggable (:data:`PLACEMENT_POLICIES`): hash-by-name,
+round-robin, or size-balanced.
+"""
+
+from .collection import DocumentPlacement, Shard, ShardedCollection
+from .placement import (
+    HashPlacement,
+    PLACEMENT_POLICIES,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    SizeBalancedPlacement,
+    make_placement,
+)
+from .service import ShardedQueryService
+
+__all__ = [
+    "DocumentPlacement",
+    "HashPlacement",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "Shard",
+    "ShardedCollection",
+    "ShardedQueryService",
+    "SizeBalancedPlacement",
+    "make_placement",
+]

@@ -1,0 +1,372 @@
+"""Horizontally partitioned document storage: shards and id translation.
+
+A :class:`ShardedCollection` splits a document forest across N
+:class:`Shard` objects.  Each shard is a fully independent vertical
+slice of the stack — its own
+:class:`~repro.xmltree.document.XmlDatabase`,
+:class:`~repro.storage.stats.StatsCollector`,
+:class:`~repro.planner.evaluator.TwigQueryEngine` (with its own index
+family) and :class:`~repro.service.QueryService` (with its own caches
+and generation fingerprint).  That independence is what buys the
+serving tier its isolation properties: adding a document touches one
+shard's indexes and invalidates one shard's result cache, while the
+other shards keep serving cached answers.
+
+Because every shard numbers nodes in a private id space starting at 1,
+the collection records a :class:`DocumentPlacement` per add — which
+shard took the document, the shard-local id interval it occupies, and
+the *global* id interval it would occupy in a single database that
+received the same documents in the same order.  Translating shard-local
+answers through these spans makes the sharded tier answer-identical to
+a single-engine database (the differential tests pin this), and lets
+queries be scoped to named documents with shard pruning.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import DocumentError
+from ..planner.evaluator import TwigQueryEngine
+from ..service.service import QueryService
+from ..storage.stats import StatsCollector
+from ..xmltree.document import Document, VIRTUAL_ROOT_ID, XmlDatabase
+from .placement import PlacementPolicy, make_placement
+
+
+@dataclass(frozen=True)
+class DocumentPlacement:
+    """Where one document lives and which id intervals it owns.
+
+    ``local_*`` bounds are in the owning shard's id space, ``global_*``
+    bounds in the equivalent single-database id space; both intervals
+    are half-open and have equal length, so translation is the linear
+    shift ``global_start + (local_id - local_start)``.
+    """
+
+    name: str
+    ordinal: int
+    shard_index: int
+    local_start: int
+    local_end: int
+    global_start: int
+    global_end: int
+
+    @property
+    def node_count(self) -> int:
+        """Number of node ids (structural and value) the document owns."""
+        return self.local_end - self.local_start
+
+
+class Shard:
+    """One partition: a private database, engine, stats and service."""
+
+    def __init__(
+        self,
+        index: int,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        result_cache_ttl: Optional[float] = None,
+    ) -> None:
+        self.index = index
+        self.db = XmlDatabase()
+        self.stats = StatsCollector()
+        self.engine = TwigQueryEngine(self.db, stats=self.stats)
+        self.service = QueryService(
+            self.engine,
+            plan_cache_size=plan_cache_size,
+            result_cache_size=result_cache_size,
+            result_cache_ttl=result_cache_ttl,
+        )
+        #: Serializes adds *to this shard* (watermark read + engine add
+        #: + span record must be atomic per shard), without making other
+        #: shards' reads or writes wait.
+        self.add_lock = threading.RLock()
+
+    @property
+    def watermark(self) -> int:
+        """The shard database's next unassigned node id."""
+        return self.db.revision[1]
+
+    @property
+    def document_count(self) -> int:
+        return len(self.db.documents)
+
+    def describe(self) -> dict[str, object]:
+        """Shard-level size and cache counters."""
+        return {
+            "documents": self.document_count,
+            "node_watermark": self.watermark,
+            "indexes": sorted(self.engine.indexes),
+            "service": self.service.describe(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shard(index={self.index}, documents={self.document_count})"
+
+
+class ShardedCollection:
+    """N shards, a placement policy, and the local/global id mapping."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        placement: Union[str, PlacementPolicy] = "hash",
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        result_cache_ttl: Optional[float] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.placement = make_placement(placement)
+        self.shards = [
+            Shard(
+                i,
+                plan_cache_size=plan_cache_size,
+                result_cache_size=result_cache_size,
+                result_cache_ttl=result_cache_ttl,
+            )
+            for i in range(num_shards)
+        ]
+        #: Guards only the collection's *bookkeeping* — ordinal and
+        #: global-id allocation, span lists, name map.  It is never held
+        #: across a shard's engine add, so a slow write to one shard
+        #: cannot stall the gather (id translation) phase of queries on
+        #: the other shards.
+        self._lock = threading.RLock()
+        self._ordinal = 0
+        self._placements: list[DocumentPlacement] = []
+        self._by_name: dict[str, list[DocumentPlacement]] = {}
+        #: Per shard: placements sorted by local_start (adds only ever
+        #: append growing intervals, serialized per shard).
+        self._shard_spans: list[list[DocumentPlacement]] = [
+            [] for _ in range(num_shards)
+        ]
+        self._global_next = 1
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._placements)
+
+    def add_document(self, document: Document) -> DocumentPlacement:
+        """Route one document to its shard and record its id spans.
+
+        The placement policy picks the shard; the shard's service adds
+        the document under the shard's own locks (maintaining that
+        shard's built indexes incrementally and invalidating only that
+        shard's cached results).  The collection lock is held only for
+        the bookkeeping on either side of the add — never across the
+        engine work — so writes to one shard do not stall queries (or
+        writes) on the others.  Returns the recorded
+        :class:`DocumentPlacement`.
+        """
+        with self._lock:
+            ordinal = self._ordinal
+            self._ordinal += 1
+            # Watermarks are read without the shard add locks: a
+            # concurrent add can skew a weight, which costs a policy a
+            # slightly stale balance decision, never correctness.
+            weights = [shard.watermark for shard in self.shards]
+        shard_index = self.placement.choose(document, ordinal, weights)
+        if not 0 <= shard_index < self.num_shards:
+            raise DocumentError(
+                f"placement policy {self.placement.name!r} returned shard "
+                f"{shard_index} outside [0, {self.num_shards})"
+            )
+        shard = self.shards[shard_index]
+        with shard.add_lock:
+            # The span is recorded *before* the engine add: the document
+            # occupies exactly one id per node (renumbering is a pre-order
+            # walk over the whole subtree), so its interval is known up
+            # front.  Recording first means a concurrent query can never
+            # see the new nodes without a span to translate them — it
+            # either observes neither (a consistent cut without the
+            # document) or both.  A span whose data has not landed yet
+            # maps nothing and is harmless.
+            local_start = shard.watermark
+            count = document.count_nodes()
+            with self._lock:
+                placement = DocumentPlacement(
+                    name=document.name,
+                    ordinal=ordinal,
+                    shard_index=shard_index,
+                    local_start=local_start,
+                    local_end=local_start + count,
+                    global_start=self._global_next,
+                    global_end=self._global_next + count,
+                )
+                self._global_next += count
+                self._placements.append(placement)
+                self._by_name.setdefault(placement.name, []).append(placement)
+                self._shard_spans[shard_index].append(placement)
+            # No rollback on failure: once the engine add starts, the
+            # shard database may already hold the document's nodes, and
+            # nothing in this codebase is transactional (a failed
+            # single-node add leaves its engine just as mutated).
+            # Keeping the span means any nodes that did land stay
+            # translatable; a span whose data never landed maps nothing.
+            shard.service.add_document(document)
+            if shard.watermark != placement.local_end:
+                raise DocumentError(
+                    f"document {document.name!r} numbered "
+                    f"{shard.watermark - local_start} ids but its span "
+                    f"reserved {count}"
+                )
+            return placement
+
+    def add_documents(self, documents: Iterable[Document]) -> list[DocumentPlacement]:
+        """Route several documents (arrival order fixes the global ids)."""
+        return [self.add_document(document) for document in documents]
+
+    # ------------------------------------------------------------------
+    # Index management (fanned to every shard)
+    # ------------------------------------------------------------------
+    def build_index(self, name: str, **options) -> None:
+        """Build one index of the family on every shard."""
+        for shard in self.shards:
+            shard.service.build_index(name, **options)
+
+    def ensure_indexes_for(self, strategy_name: str) -> None:
+        """Build whatever indexes a strategy needs, on every shard."""
+        for shard in self.shards:
+            shard.engine.ensure_indexes_for(strategy_name)
+
+    def index_sizes_mb(self) -> dict[str, float]:
+        """Total size per index name, summed across shards."""
+        totals: dict[str, float] = {}
+        for shard in self.shards:
+            for name, size in shard.engine.index_sizes_mb().items():
+                totals[name] = totals.get(name, 0.0) + size
+        return totals
+
+    # ------------------------------------------------------------------
+    # Id translation and document lookup
+    # ------------------------------------------------------------------
+    def to_global(self, shard_index: int, local_id: int) -> int:
+        """Translate one shard-local node id into the global id space."""
+        if local_id == VIRTUAL_ROOT_ID:
+            # Every shard's virtual root is the same global virtual root.
+            return VIRTUAL_ROOT_ID
+        with self._lock:
+            spans = self._shard_spans[shard_index]
+            position = (
+                bisect.bisect_right(spans, local_id, key=lambda s: s.local_start) - 1
+            )
+            if position >= 0:
+                span = spans[position]
+                if span.local_start <= local_id < span.local_end:
+                    return span.global_start + (local_id - span.local_start)
+        raise DocumentError(
+            f"shard {shard_index} has no document covering local id {local_id}"
+        )
+
+    def translate_sorted(
+        self,
+        shard_index: int,
+        local_ids: Sequence[int],
+        scope: Optional[Sequence[DocumentPlacement]] = None,
+    ) -> list[int]:
+        """Translate ascending shard-local ids in one pass (one lock).
+
+        Query answers come back in ascending local id order, so a single
+        merge-style walk over the shard's (also ascending) document
+        spans translates the whole answer without a per-id bisect.
+        ``scope`` restricts the output to the given documents' intervals
+        — ids outside them (other documents co-resident on the shard)
+        are dropped, which is the filtering half of shard pruning.
+        """
+        allowed: Optional[set[int]] = None
+        if scope is not None:
+            allowed = {placement.ordinal for placement in scope}
+        with self._lock:
+            # Snapshot the (append-only) span list and translate outside
+            # the lock: the walk is O(answer size) and must not become a
+            # serial section across every query's gather phase.
+            spans = list(self._shard_spans[shard_index])
+        translated: list[int] = []
+        position = 0
+        for local_id in local_ids:
+            if local_id == VIRTUAL_ROOT_ID:
+                translated.append(VIRTUAL_ROOT_ID)
+                continue
+            while position < len(spans) and local_id >= spans[position].local_end:
+                position += 1
+            if position >= len(spans) or local_id < spans[position].local_start:
+                raise DocumentError(
+                    f"shard {shard_index} has no document covering "
+                    f"local id {local_id} (ids must be ascending)"
+                )
+            span = spans[position]
+            if allowed is not None and span.ordinal not in allowed:
+                continue
+            translated.append(span.global_start + (local_id - span.local_start))
+        return translated
+
+    def placements_for(self, name: str) -> list[DocumentPlacement]:
+        """Every placement recorded under one document name."""
+        with self._lock:
+            try:
+                return list(self._by_name[name])
+            except KeyError:
+                raise DocumentError(f"no document named {name!r}") from None
+
+    def placements(self) -> list[DocumentPlacement]:
+        """All placements in arrival order."""
+        with self._lock:
+            return list(self._placements)
+
+    def shards_for_documents(
+        self, names: Sequence[str]
+    ) -> dict[int, list[DocumentPlacement]]:
+        """Shard index -> the named documents it holds (pruning map).
+
+        Shards holding none of the named documents are absent — this is
+        the scatter set for a document-scoped query.
+        """
+        targets: dict[int, list[DocumentPlacement]] = {}
+        for name in names:
+            for placement in self.placements_for(name):
+                targets.setdefault(placement.shard_index, []).append(placement)
+        return targets
+
+    def global_spans_for(self, names: Sequence[str]) -> list[tuple[int, int]]:
+        """The named documents' global id intervals (scoping filter)."""
+        return [
+            (placement.global_start, placement.global_end)
+            for name in names
+            for placement in self.placements_for(name)
+        ]
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Collection topology and per-shard summaries."""
+        with self._lock:
+            # Only the bookkeeping snapshot runs under the collection
+            # lock; shard.describe() takes each shard's own service lock
+            # and may wait behind a write there, which must not stall
+            # the other shards' gather phases through this lock.
+            report = {
+                "num_shards": self.num_shards,
+                "placement": self.placement.name,
+                "documents": self.document_count,
+                "global_watermark": self._global_next,
+            }
+        report["shards"] = [shard.describe() for shard in self.shards]
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedCollection(shards={self.num_shards}, "
+            f"placement={self.placement.name!r}, "
+            f"documents={self.document_count})"
+        )

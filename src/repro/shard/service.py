@@ -1,0 +1,304 @@
+"""Scatter-gather query execution over a sharded collection.
+
+:class:`ShardedQueryService` mirrors the single-node
+:class:`~repro.service.QueryService` facade (``execute`` /
+``execute_batch`` / ``add_document`` / ``build_index`` / ``describe``)
+but fans every query out to the shards of a
+:class:`~repro.shard.collection.ShardedCollection` on a
+``ThreadPoolExecutor`` and gathers the partial answers into one
+cost-accounted :class:`~repro.planner.evaluator.QueryResult`:
+
+* **scatter** — each relevant shard evaluates the query through its own
+  :class:`~repro.service.QueryService`, so per-shard plan caches,
+  result caches, generation fingerprints and ``strategy="auto"``
+  choices all apply per shard (a shard prices its plan against its own
+  catalog statistics, and an ``add_document`` on one shard invalidates
+  only that shard's cached results);
+* **prune** — a query scoped to named documents (``documents=[...]``)
+  is sent only to the shards holding them, and its answer is filtered
+  to those documents' id intervals;
+* **gather** — shard-local answer ids are translated into the global id
+  space through the collection's recorded document spans, merged in
+  ascending (document-order) sequence, and the per-shard cost counters
+  are summed through :func:`~repro.storage.stats.sum_snapshots` so the
+  merged result prices exactly the logical work all shards charged.
+
+The merged answer is *identical* to what a single-engine database
+holding the same documents (in the same arrival order) would return —
+the shard-equivalence differential tests pin this across shard counts,
+placement policies and strategies.
+
+**Consistency model.**  Each per-shard partial answer is a consistent
+snapshot of its shard (execution serializes against that shard's writes
+on the shard service's lock), but there is no global read snapshot
+across shards: a query racing concurrent ``add_document`` calls may
+observe different shards at different write watermarks.  Every answer
+is therefore a *consistent cut* — for each shard, a prefix of that
+shard's add sequence — rather than a prefix of the global add sequence;
+once writes quiesce, answers are exact.  This is the standard
+scatter-gather contract (a global snapshot would serialize every query
+against every write, forfeiting the isolation the sharding buys), and
+the concurrency tests assert exactly it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence, Union
+
+from ..planner.evaluator import QueryResult
+from ..query.match import NaiveMatcher
+from ..query.parser import parse_xpath
+from ..query.twig import TwigPattern
+from ..storage.stats import sum_snapshots
+from ..xmltree.document import Document
+from ..service.base import AUTO_STRATEGY, ServingFacade
+from .collection import DocumentPlacement, Shard, ShardedCollection
+from .placement import PlacementPolicy
+
+
+class ShardedQueryService(ServingFacade):
+    """A scatter-gather serving facade over a :class:`ShardedCollection`."""
+
+    def __init__(
+        self,
+        collection: Optional[ShardedCollection] = None,
+        num_shards: int = 4,
+        placement: Union[str, PlacementPolicy] = "hash",
+        max_workers: Optional[int] = None,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        result_cache_ttl: Optional[float] = None,
+    ) -> None:
+        if collection is None:
+            collection = ShardedCollection(
+                num_shards=num_shards,
+                placement=placement,
+                plan_cache_size=plan_cache_size,
+                result_cache_size=result_cache_size,
+                result_cache_ttl=result_cache_ttl,
+            )
+        self.collection = collection
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers or self.collection.num_shards,
+            thread_name_prefix="shard",
+        )
+        self.queries_executed = 0
+        self._counter_lock = threading.Lock()
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[Document],
+        num_shards: int = 4,
+        placement: Union[str, PlacementPolicy] = "hash",
+        **options,
+    ) -> "ShardedQueryService":
+        """Build a sharded service and load ``documents`` in order."""
+        service = cls(num_shards=num_shards, placement=placement, **options)
+        for document in documents:
+            service.add_document(document)
+        return service
+
+    # ------------------------------------------------------------------
+    # Facade mirror: loading and index management
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> Document:
+        """Route one document to its shard (see :meth:`ShardedCollection.add_document`)."""
+        self.collection.add_document(document)
+        return document
+
+    def build_index(self, name: str, **options) -> None:
+        """Build one index of the family on every shard."""
+        self.collection.build_index(name, **options)
+
+    def ensure_indexes_for(self, strategy_name: str) -> None:
+        """Build the indexes one strategy needs, on every shard."""
+        self.collection.ensure_indexes_for(strategy_name)
+
+    def invalidate(self, rebuilt: bool = True) -> None:
+        """Flush every shard's service caches."""
+        for shard in self.collection.shards:
+            shard.service.invalidate(rebuilt=rebuilt)
+
+    # ------------------------------------------------------------------
+    # Execution: scatter, prune, gather
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Union[str, TwigPattern],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        documents: Optional[Sequence[str]] = None,
+        **strategy_options,
+    ) -> QueryResult:
+        """Evaluate one query across the shards and merge the answers.
+
+        ``documents`` scopes the query to the named documents: only the
+        shards holding them are scattered to (shard pruning) and the
+        merged answer contains matches from those documents alone.
+        ``strategy`` and the caching knobs apply per shard —
+        ``"auto"`` in particular lets every shard pick the plan its own
+        statistics price cheapest.
+        """
+        started = time.perf_counter()
+        xpath = query if isinstance(query, str) else query.to_xpath()
+        targets = self._target_shards(documents)
+        partials = self._scatter(
+            targets, xpath, strategy, use_result_cache, strategy_options
+        )
+        result = self._gather(xpath, strategy, targets, partials, started)
+        with self._counter_lock:
+            self.queries_executed += 1
+        return result
+
+    def _target_shards(
+        self, documents: Optional[Sequence[str]]
+    ) -> list[tuple[Shard, Optional[list[DocumentPlacement]]]]:
+        """The scatter set: (shard, scope placements or None) pairs.
+
+        ``None`` scope means the whole shard is in scope.  Shards with
+        no documents hold no nodes and cannot contribute matches, so
+        they are always pruned.
+        """
+        if documents is None:
+            return [
+                (shard, None)
+                for shard in self.collection.shards
+                if shard.document_count
+            ]
+        by_shard = self.collection.shards_for_documents(documents)
+        return [
+            (self.collection.shards[index], placements)
+            for index, placements in sorted(by_shard.items())
+        ]
+
+    def _scatter(
+        self,
+        targets: list[tuple[Shard, Optional[list[DocumentPlacement]]]],
+        xpath: str,
+        strategy: str,
+        use_result_cache: bool,
+        strategy_options: dict,
+    ) -> list[QueryResult]:
+        """Run the query on every target shard, in parallel past one."""
+        def run(shard: Shard) -> QueryResult:
+            return shard.service.execute(
+                xpath,
+                strategy=strategy,
+                use_result_cache=use_result_cache,
+                **strategy_options,
+            )
+
+        if len(targets) <= 1:
+            # No gain from thread hand-off for a pruned or single-shard
+            # scatter; run inline.
+            return [run(shard) for shard, _ in targets]
+        futures = [self.executor.submit(run, shard) for shard, _ in targets]
+        return [future.result() for future in futures]
+
+    def _gather(
+        self,
+        xpath: str,
+        strategy: str,
+        targets: list[tuple[Shard, Optional[list[DocumentPlacement]]]],
+        partials: list[QueryResult],
+        started: float,
+    ) -> QueryResult:
+        """Translate, filter and merge per-shard answers into one result."""
+        merged_ids: list[int] = []
+        for (shard, scope), partial in zip(targets, partials):
+            merged_ids.extend(
+                self.collection.translate_sorted(
+                    shard.index, sorted(partial.ids), scope=scope
+                )
+            )
+        # Global ids are assigned in document-arrival order, so ascending
+        # id order is global document order — what a single engine returns.
+        merged_ids.sort()
+        strategies = {partial.strategy for partial in partials}
+        if not strategies:
+            merged_strategy = strategy
+        elif len(strategies) == 1:
+            merged_strategy = next(iter(strategies))
+        else:
+            merged_strategy = "mixed(" + ",".join(sorted(strategies)) + ")"
+        return QueryResult(
+            strategy=merged_strategy,
+            xpath=xpath,
+            ids=merged_ids,
+            elapsed_seconds=time.perf_counter() - started,
+            cost=sum_snapshots(*(partial.cost for partial in partials)),
+            cached=bool(partials) and all(partial.cached for partial in partials),
+        )
+
+    # ------------------------------------------------------------------
+    # Oracle (differential testing and examples)
+    # ------------------------------------------------------------------
+    def oracle(
+        self, query: Union[str, TwigPattern], documents: Optional[Sequence[str]] = None
+    ) -> list[int]:
+        """Index-free ground truth, merged across shards into global ids."""
+        twig = parse_xpath(query) if isinstance(query, str) else query
+        targets = self._target_shards(documents)
+        merged: list[int] = []
+        for shard, scope in targets:
+            ids = NaiveMatcher(shard.db).match_ids(twig)
+            merged.extend(
+                self.collection.translate_sorted(shard.index, sorted(ids), scope=scope)
+            )
+        merged.sort()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Stats hooks for the shared batch loop
+    # ------------------------------------------------------------------
+    def _stats_snapshot(self):
+        return [shard.stats.snapshot() for shard in self.collection.shards]
+
+    def _stats_diff(self, before) -> dict[str, int]:
+        return sum_snapshots(
+            *(
+                shard.stats.diff(snapshot)
+                for shard, snapshot in zip(self.collection.shards, before)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """Topology, per-shard summaries and aggregated cache counters."""
+        report = self.collection.describe()
+        shard_reports = [shard["service"] for shard in report["shards"]]
+        aggregated: dict[str, dict[str, int]] = {}
+        for cache_name in ("plan_cache", "result_cache", "choice_cache"):
+            aggregated[cache_name] = {
+                counter: sum(r[cache_name][counter] for r in shard_reports)
+                for counter in ("size", "hits", "misses", "evictions", "expiries")
+            }
+        report["caches"] = aggregated
+        report["invalidations"] = {
+            "total": sum(r["invalidations"] for r in shard_reports),
+            "result_only": sum(r["result_invalidations"] for r in shard_reports),
+            "full": sum(r["full_invalidations"] for r in shard_reports),
+        }
+        report["queries_executed"] = self.queries_executed
+        return report
+
+    def close(self) -> None:
+        """Shut down the scatter pool (idempotent)."""
+        self.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedQueryService(shards={self.collection.num_shards}, "
+            f"placement={self.collection.placement.name!r}, "
+            f"documents={self.collection.document_count})"
+        )

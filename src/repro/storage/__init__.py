@@ -19,7 +19,7 @@ from .keys import (
     is_prefix,
     key_byte_size,
 )
-from .stats import GLOBAL_STATS, StatsCollector
+from .stats import GLOBAL_STATS, StatsCollector, sum_snapshots
 
 __all__ = [
     "BPlusTree",
@@ -34,4 +34,5 @@ __all__ = [
     "encode_key",
     "is_prefix",
     "key_byte_size",
+    "sum_snapshots",
 ]

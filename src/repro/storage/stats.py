@@ -55,6 +55,23 @@ def weighted_cost(counters: Mapping[str, int]) -> int:
     )
 
 
+def sum_snapshots(*snapshots: Mapping[str, int]) -> dict[str, int]:
+    """Sum counter mappings key-wise into one counter dict.
+
+    The single aggregation path for combining per-shard (or otherwise
+    partitioned) cost measurements: :meth:`StatsCollector.merge`,
+    :meth:`StatsCollector.__add__` and the scatter-gather result merge
+    all reduce to it, so cross-shard totals cannot drift from
+    single-collector arithmetic.  Unknown keys are carried through —
+    callers may sum plain cost dicts that hold only a few counters.
+    """
+    total: dict[str, int] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
 def maintenance_cost(counters: Mapping[str, int]) -> int:
     """The aggregate cost proxy for index maintenance work.
 
@@ -132,11 +149,22 @@ class StatsCollector:
         yield result
         result.update(self.diff(before))
 
-    def __add__(self, other: "StatsCollector") -> "StatsCollector":
-        combined = StatsCollector()
+    def merge(self, *others: "StatsCollector") -> "StatsCollector":
+        """Add the counters of ``others`` into this collector, in place.
+
+        The mutating aggregation primitive behind cross-shard totals:
+        a gather step merges every shard's collector into one summary
+        collector.  Returns ``self`` so merges chain.  Shares the
+        key-wise arithmetic of :func:`sum_snapshots` — the one
+        aggregation code path — rather than re-implementing it.
+        """
+        combined = sum_snapshots(self.snapshot(), *(o.snapshot() for o in others))
         for f in fields(self):
-            setattr(combined, f.name, getattr(self, f.name) + getattr(other, f.name))
-        return combined
+            setattr(self, f.name, combined[f.name])
+        return self
+
+    def __add__(self, other: "StatsCollector") -> "StatsCollector":
+        return StatsCollector().merge(self, other)
 
 
 #: A module-level collector used when callers do not supply their own.

@@ -171,6 +171,27 @@ class XmlDatabase:
                 total += 2 * len(node.label) + 5
         return total
 
+    def document_spans(self) -> list[tuple[str, int, int]]:
+        """Per-document ``(name, first_id, end_id)`` spans, arrival order.
+
+        :meth:`add_document` numbers each document's nodes contiguously
+        (pre-order, continuing from the previous watermark), so every
+        document owns one half-open id interval ``[first_id, end_id)``.
+        The sharded tier uses these spans to translate a shard-local id
+        space into the id space a single database holding the same
+        documents (in the same arrival order) would have assigned, and
+        to scope query answers to named documents.
+        """
+        spans: list[tuple[str, int, int]] = []
+        for position, document in enumerate(self.documents):
+            start = document.root.node_id
+            if position + 1 < len(self.documents):
+                end = self.documents[position + 1].root.node_id
+            else:
+                end = self._next_id
+            spans.append((document.name, start, end))
+        return spans
+
     # ------------------------------------------------------------------
     # Statistics helpers used by the planner and the benches
     # ------------------------------------------------------------------

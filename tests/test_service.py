@@ -337,3 +337,80 @@ def test_describe_reports_cache_counters(service_db):
     assert report["result_cache"]["hits"] == 1
     assert report["plan_cache"]["misses"] == 1
     assert report["auto_choice_counts"] == {"rootpaths": 1}
+
+
+# ----------------------------------------------------------------------
+# TTL admission policy
+# ----------------------------------------------------------------------
+class FakeClock:
+    """A manually advanced monotonic clock for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_lru_cache_ttl_expires_entries_lazily():
+    clock = FakeClock()
+    cache = LRUCache(4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(9.999)
+    assert cache.get("a") == 1 and "a" in cache
+    clock.advance(0.001)  # exactly at the deadline: expired
+    assert "a" not in cache
+    assert cache.get("a") is None
+    assert cache.expiries == 1 and cache.evictions == 0
+    assert cache.misses == 1 and cache.hits == 1
+    assert len(cache) == 0  # the expired entry was dropped, not kept
+
+
+def test_lru_cache_ttl_restarts_on_refresh_and_reports_in_describe():
+    clock = FakeClock()
+    cache = LRUCache(4, ttl_seconds=10.0, clock=clock)
+    cache.put("a", 1)
+    clock.advance(8.0)
+    cache.put("a", 2)  # refresh restarts the deadline
+    clock.advance(8.0)
+    assert cache.get("a") == 2
+    report = cache.describe()
+    assert report["ttl_seconds"] == 10.0
+    assert report["expiries"] == 0 and report["evictions"] == 0
+    clock.advance(10.0)
+    assert cache.get("a") is None
+    assert cache.describe()["expiries"] == 1
+
+
+def test_lru_cache_rejects_non_positive_ttl():
+    with pytest.raises(ValueError):
+        LRUCache(4, ttl_seconds=0)
+    with pytest.raises(ValueError):
+        LRUCache(4, ttl_seconds=-1.5)
+
+
+def test_service_result_cache_ttl_expires_cached_answers(service_db):
+    clock = FakeClock()
+    service = service_db.service
+    service.result_cache = LRUCache(1024, ttl_seconds=30.0, clock=clock)
+    service_db.build_index("rootpaths")
+
+    assert not service.execute("/book/title").cached
+    assert service.execute("/book/title").cached  # within TTL
+    clock.advance(31.0)
+    expired = service.execute("/book/title")  # past TTL: re-executed
+    assert not expired.cached
+    assert expired.ids == service_db.oracle("/book/title")
+    report = service.describe()
+    assert report["result_cache"]["expiries"] == 1
+    assert report["result_cache"]["ttl_seconds"] == 30.0
+
+
+def test_query_service_accepts_result_cache_ttl_parameter(service_db):
+    service = QueryService(service_db.engine, result_cache_ttl=60.0)
+    assert service.result_cache.ttl_seconds == 60.0
+    # The no-TTL default keeps entries indefinitely.
+    assert service_db.service.result_cache.ttl_seconds is None

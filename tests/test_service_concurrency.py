@@ -1,0 +1,253 @@
+"""Concurrent access: readers hammering execute() against add_document().
+
+The serving tier's thread-safety contract: a
+:class:`~repro.service.QueryService` (and each shard of a
+:class:`~repro.shard.ShardedQueryService`) may be queried from many
+threads while another thread adds documents — never returning a torn
+read of a half-maintained index, never a stale cached answer after the
+caches were invalidated — and once the writer finishes, queries must
+see the final document set.
+
+What "never stale or torn" means differs by tier:
+
+* the **single-node** service serializes execution against writes on
+  one lock, so every observed answer must be the oracle answer of some
+  *prefix* of the add sequence (linearizability);
+* the **sharded** service has per-shard snapshots but no global read
+  snapshot (see the consistency model in :mod:`repro.shard.service`),
+  so every observed answer must be a *consistent cut*: per shard, a
+  prefix of that shard's add sub-sequence.
+
+The harness precomputes the oracle answers of every admissible state
+(documents are independent trees, so a state's answer is the union of
+its documents' match sets), races reader threads against one writer,
+and checks each observed answer against the admissible set.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import ShardedQueryService, TwigIndexDatabase
+from repro.datasets import generate_xmark
+
+QUERIES = (
+    "/site/people/person/name",
+    "//person[name='Hagen Artosi']",
+    "/site/open_auctions/open_auction",
+)
+
+BASE_DOCS = 2
+EXTRA_DOCS = 3
+READER_THREADS = 3
+READER_ROUNDS = 25
+
+
+def _documents(count: int):
+    return [
+        generate_xmark(scale=0.015, seed=500 + i, name=f"doc-{i}")
+        for i in range(count)
+    ]
+
+
+def _prefix_oracles() -> list[dict[str, list[int]]]:
+    """Oracle answers for every prefix of the add sequence.
+
+    Prefix k holds the answers after the first BASE_DOCS + k documents;
+    these are the only answer sets a linearizable service may return.
+    """
+    oracles = []
+    for k in range(EXTRA_DOCS + 1):
+        reference = TwigIndexDatabase.from_documents(_documents(BASE_DOCS + k))
+        oracles.append({xpath: reference.oracle(xpath) for xpath in QUERIES})
+    return oracles
+
+
+@pytest.fixture(scope="module")
+def prefix_oracles():
+    return _prefix_oracles()
+
+
+def _hammer(execute, add_document):
+    """Race readers against one writer; return the observed answers."""
+    observed: dict[str, set[tuple[int, ...]]] = {xpath: set() for xpath in QUERIES}
+    errors: list[BaseException] = []
+    observed_lock = threading.Lock()
+    writer_done = threading.Event()
+
+    def writer():
+        try:
+            for document in _documents(BASE_DOCS + EXTRA_DOCS)[BASE_DOCS:]:
+                add_document(document)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            writer_done.set()
+
+    def reader():
+        try:
+            rounds = 0
+            while rounds < READER_ROUNDS or not writer_done.is_set():
+                rounds += 1
+                for xpath in QUERIES:
+                    ids = tuple(execute(xpath).ids)
+                    with observed_lock:
+                        observed[xpath].add(ids)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(READER_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "hammer thread wedged"
+    assert not errors, errors
+    return observed
+
+
+def _assert_answers_admissible(observed, allowed_by_query, contract):
+    for xpath in QUERIES:
+        stale_or_torn = observed[xpath] - allowed_by_query[xpath]
+        assert not stale_or_torn, (
+            f"{xpath}: observed answers matching no {contract} of the add "
+            f"sequence: {sorted(len(ids) for ids in stale_or_torn)} ids"
+        )
+
+
+def _per_document_answers():
+    """Each document's own match ids in the global id space.
+
+    Documents are independent trees, so the answer of any document
+    subset is the union of the per-document match sets; this is what
+    lets the harness enumerate every admissible concurrent state.
+    """
+    reference = TwigIndexDatabase.from_documents(
+        _documents(BASE_DOCS + EXTRA_DOCS)
+    )
+    spans = reference.document_spans()
+    contributions: dict[str, list[list[int]]] = {}
+    for xpath in QUERIES:
+        full = reference.oracle(xpath)
+        contributions[xpath] = [
+            [i for i in full if start <= i < end] for _, start, end in spans
+        ]
+    return contributions
+
+
+def _consistent_cut_answers(shard_deltas: list[list[int]]):
+    """Admissible answers when each shard may lag at its own prefix.
+
+    ``shard_deltas`` lists, per shard, the positions (document indexes)
+    of the delta documents that shard received, in arrival order.  A
+    cut includes every base document plus, for each shard, a prefix of
+    its deltas.
+    """
+    contributions = _per_document_answers()
+    cuts = [list(range(BASE_DOCS))]
+    for deltas in shard_deltas:
+        cuts = [
+            cut + deltas[:take] for cut in cuts for take in range(len(deltas) + 1)
+        ]
+    allowed: dict[str, set[tuple[int, ...]]] = {}
+    for xpath in QUERIES:
+        per_doc = contributions[xpath]
+        allowed[xpath] = {
+            tuple(sorted(id_ for position in cut for id_ in per_doc[position]))
+            for cut in cuts
+        }
+    return allowed
+
+
+def test_single_service_race_no_stale_results(prefix_oracles):
+    database = TwigIndexDatabase.from_documents(_documents(BASE_DOCS))
+    database.build_index("rootpaths")
+    database.build_index("datapaths")
+    service = database.service
+
+    observed = _hammer(
+        lambda xpath: service.execute(xpath, strategy="auto"),
+        service.add_document,
+    )
+    # One lock serializes everything: full linearizability.
+    allowed = {
+        xpath: {tuple(prefix[xpath]) for prefix in prefix_oracles}
+        for xpath in QUERIES
+    }
+    _assert_answers_admissible(observed, allowed, "prefix")
+
+    # The settled service answers for the final document set, cached and
+    # uncached alike, and the caches are internally consistent.
+    final = prefix_oracles[-1]
+    for xpath in QUERIES:
+        assert service.execute(xpath).ids == final[xpath]
+        assert (
+            service.execute(xpath, use_result_cache=False).ids == final[xpath]
+        )
+    report = service.describe()
+    assert report["result_cache"]["size"] <= service.result_cache.max_size
+    assert report["result_invalidations"] >= EXTRA_DOCS
+
+
+@pytest.mark.parametrize("placement", ["round_robin", "hash"])
+def test_sharded_service_race_no_stale_results(prefix_oracles, placement):
+    service = ShardedQueryService.from_documents(
+        _documents(BASE_DOCS), num_shards=2, placement=placement
+    )
+    service.build_index("rootpaths")
+    service.build_index("datapaths")
+
+    observed = _hammer(
+        lambda xpath: service.execute(xpath, strategy="auto"),
+        service.add_document,
+    )
+    # Scatter-gather: per-shard snapshots, no global snapshot — check
+    # against every consistent cut.  The delta-to-shard assignment is
+    # read back from the collection (both policies here are
+    # deterministic, so the racing run used the same assignment).
+    shard_deltas: list[list[int]] = [
+        [] for _ in range(service.collection.num_shards)
+    ]
+    for placement in service.collection.placements():
+        if placement.ordinal >= BASE_DOCS:
+            shard_deltas[placement.shard_index].append(placement.ordinal)
+    allowed = _consistent_cut_answers(shard_deltas)
+    _assert_answers_admissible(observed, allowed, "consistent cut")
+
+    final = prefix_oracles[-1]
+    for xpath in QUERIES:
+        assert service.execute(xpath).ids == final[xpath]
+        assert service.oracle(xpath) == final[xpath]
+    service.close()
+
+
+def test_concurrent_scattered_queries_share_one_collection():
+    """Many reader threads scatter concurrently over the same shards."""
+    service = ShardedQueryService.from_documents(
+        _documents(4), num_shards=4, placement="round_robin"
+    )
+    service.build_index("rootpaths")
+    service.build_index("datapaths")
+    expected = {xpath: service.oracle(xpath) for xpath in QUERIES}
+    errors: list[BaseException] = []
+
+    def reader():
+        try:
+            for _ in range(10):
+                for xpath in QUERIES:
+                    assert service.execute(xpath).ids == expected[xpath]
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+    assert not errors, errors
+    service.close()
