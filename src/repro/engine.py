@@ -23,6 +23,12 @@ shared stats snapshot:
 [[2], [2]]
 >>> batch.cache_hits  # the repeat was served from the result cache
 1
+
+Documents can be removed and replaced as well as added
+(:meth:`TwigIndexDatabase.remove_document` /
+:meth:`TwigIndexDatabase.replace_document`); built indexes are
+maintained incrementally in both directions.  ``docs/ARCHITECTURE.md``
+maps the layers this facade bundles; ``README.md`` has a runnable tour.
 """
 
 from __future__ import annotations
@@ -88,6 +94,40 @@ class TwigIndexDatabase:
         it instead of observing half-maintained indexes.
         """
         return self.service.add_document(document)
+
+    def remove_document(self, ref: Union[Document, str]) -> Document:
+        """Remove a document by name (or object), maintaining every index.
+
+        The mirror image of :meth:`add_document`: the database reclaims
+        the document's node-id span and tag refcounts, and built
+        indexes forget it through
+        :meth:`~repro.indexes.base.PathIndex.remove` (incremental
+        deletion for ROOTPATHS, DATAPATHS, Edge and DataGuide; full
+        rebuild for the rest).  Cached results are dropped, parsed
+        plans survive.  Returns the detached document.
+        """
+        return self.service.remove_document(ref)
+
+    def replace_document(
+        self,
+        ref: Union[Document, str],
+        replacement: Union[Document, str],
+        name: Optional[str] = None,
+    ) -> Document:
+        """Replace a document with new content (remove + add, one lock).
+
+        ``replacement`` is a parsed :class:`Document` or an XML string;
+        a string is parsed under ``name`` (default: the replaced
+        document's name, so document-scoped workflows keep working).
+        The replacement is numbered at the current id watermark — ids
+        are never reused.  Returns the added document.
+        """
+        old = self.db.resolve_document(ref)
+        if isinstance(replacement, str):
+            replacement = parse_string(
+                replacement, name=name if name is not None else old.name
+            )
+        return self.service.replace_document(old, replacement)
 
     # ------------------------------------------------------------------
     # Indexing

@@ -14,9 +14,17 @@ Every concrete index implements :class:`PathIndex`:
   that support true incremental insertion (ROOTPATHS, DATAPATHS, Edge,
   DataGuide) extend their structures in place, the rest fall back to a
   full rebuild (the default ``_update``),
+* ``remove(db, document)`` — forget one just-removed document; the same
+  four indexes delete exactly the rows the document contributed
+  (B+-tree ``delete`` per row, IdList shrink, exact catalog-statistic
+  decrements), the rest fall back to a full rebuild over the
+  post-removal database (the default ``_remove``),
 * ``estimated_size_bytes()`` — the space number reported in Figure 9,
 * index-specific lookup methods used by the evaluation strategies in
   :mod:`repro.planner.strategies`.
+
+See ``docs/ARCHITECTURE.md`` ("Indexes") for how the maintenance family
+fits the serving stack.
 """
 
 from __future__ import annotations
@@ -91,6 +99,9 @@ class PathIndex(abc.ABC):
     #: True when :meth:`update` inserts the new document's keys in place;
     #: False when it falls back to a full rebuild (the base ``_update``).
     incremental: bool = False
+    #: True when :meth:`remove` deletes the removed document's keys in
+    #: place; False when it falls back to a full rebuild (``_remove``).
+    incremental_removal: bool = False
 
     def __init__(self, stats: Optional[StatsCollector] = None) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
@@ -135,6 +146,31 @@ class PathIndex(abc.ABC):
 
     def _update(self, db: XmlDatabase, document: Document) -> None:
         """Index-specific maintenance; the default is a full rebuild."""
+        self.build(db)
+
+    # ------------------------------------------------------------------
+    def remove(self, db: XmlDatabase, document: Document) -> "PathIndex":
+        """Forget one document that was just removed from ``db``.
+
+        ``document`` must already be detached from ``db`` but keep its
+        tree and node ids (exactly what
+        :meth:`~repro.xmltree.document.XmlDatabase.remove_document`
+        returns).  Indexes with ``incremental_removal = True`` delete
+        exactly the rows the document once contributed — one B+-tree
+        ``delete`` per path/edge key, with catalog statistics
+        decremented to what a from-scratch build over the remaining
+        documents would count; the rest fall back to the default
+        ``_remove``, a full rebuild over the post-removal database.
+        Either way the index answers queries over the post-removal
+        snapshot when this returns.
+        """
+        self._require_built()
+        self.db = db
+        self._remove(db, document)
+        return self
+
+    def _remove(self, db: XmlDatabase, document: Document) -> None:
+        """Index-specific removal; the default is a full rebuild."""
         self.build(db)
 
     def _require_built(self) -> XmlDatabase:

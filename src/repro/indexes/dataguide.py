@@ -37,6 +37,9 @@ class DataGuideIndex(PathIndex):
     #: ``update()`` extends the summary (new entries and, when the new
     #: document introduces unseen rooted paths, new skeleton paths).
     incremental = True
+    #: ``remove()`` deletes the removed document's entries and shrinks
+    #: the skeleton when a rooted path loses its last occurrence.
+    incremental_removal = True
 
     def __init__(self, stats: Optional[StatsCollector] = None, order: int = 128) -> None:
         super().__init__(stats)
@@ -44,6 +47,10 @@ class DataGuideIndex(PathIndex):
         self._tree: Optional[BPlusTree] = None
         self._distinct_paths: list[LabelPath] = []
         self._seen_paths: set[LabelPath] = set()
+        #: Occurrences per distinct rooted path — the refcounts that let
+        #: removals retire a skeleton path exactly when its last node
+        #: disappears.
+        self._path_counts: dict[LabelPath, int] = {}
         self.entry_count = 0
 
     # ------------------------------------------------------------------
@@ -51,6 +58,7 @@ class DataGuideIndex(PathIndex):
         self._tree = BPlusTree(order=self.order, stats=self.stats, name=self.name)
         self._distinct_paths = []
         self._seen_paths = set()
+        self._path_counts = {}
         self.entry_count = 0
         entries = []
         for row in iter_rootpaths_rows(db, include_values=False):
@@ -69,10 +77,38 @@ class DataGuideIndex(PathIndex):
         for row in iter_rootpaths_rows(db, include_values=False, documents=(document,)):
             self._tree.insert(*self._entry_for_row(db, row))
 
+    def _remove(self, db: XmlDatabase, document) -> None:
+        """DataGuide summary shrink for one removed document.
+
+        Deletes the removed document's entries (one per structural
+        node) and decrements the per-path refcounts; a rooted path
+        whose count reaches zero is retired from the skeleton, so
+        recursive pattern matching stops enumerating (and probing) it —
+        exactly the skeleton a from-scratch build over the remaining
+        documents would produce.
+        """
+        assert self._tree is not None
+        for row in iter_rootpaths_rows(db, include_values=False, documents=(document,)):
+            tag_ids = tuple(db.tags.intern(label) for label in row.schema_path)
+            removed = self._tree.delete(encode_key(tag_ids), value=row.id_list[-1])
+            self.entry_count -= removed
+            if not removed:
+                continue
+            remaining = self._path_counts.get(row.schema_path, 0) - removed
+            if remaining > 0:
+                self._path_counts[row.schema_path] = remaining
+            else:
+                self._path_counts.pop(row.schema_path, None)
+                self._seen_paths.discard(row.schema_path)
+                self._distinct_paths.remove(row.schema_path)
+
     def _entry_for_row(self, db: XmlDatabase, row) -> tuple:
         """One summary entry; grows the skeleton on first-seen paths."""
         tag_ids = tuple(db.tags.intern(label) for label in row.schema_path)
         self.entry_count += 1
+        self._path_counts[row.schema_path] = (
+            self._path_counts.get(row.schema_path, 0) + 1
+        )
         if row.schema_path not in self._seen_paths:
             self._seen_paths.add(row.schema_path)
             self._distinct_paths.append(row.schema_path)

@@ -44,6 +44,8 @@ class DataPathsIndex(PathIndex):
     )
     #: ``update()`` inserts the new document's subpath rows in place.
     incremental = True
+    #: ``remove()`` deletes the removed document's subpath rows in place.
+    incremental_removal = True
 
     def __init__(
         self,
@@ -90,6 +92,32 @@ class DataPathsIndex(PathIndex):
         for key, payload in self._iter_entries(db, rows):
             self._tree.insert(key, payload)
 
+    def _remove(self, db: XmlDatabase, document) -> None:
+        """Incremental deletion of one removed document's subpath rows.
+
+        Re-enumerates every row the detached document contributed
+        (same enumeration as build and update — the document keeps its
+        node ids) and deletes the corresponding entry; head pruning is
+        replayed so pruned rows decrement the pruning counter instead,
+        and the virtual-root catalog statistics are decremented to what
+        a from-scratch build over the remaining documents would count.
+        """
+        assert self._tree is not None
+        for row in iter_datapaths_rows(db, documents=(document,)):
+            mapped = self._map_row(db, row)
+            if mapped is None:
+                self.pruned_count -= 1
+                continue
+            key, payload, stat_key = mapped
+            removed = self._tree.delete(key, value=payload)
+            self.entry_count -= removed
+            if removed and stat_key is not None and stat_key in self.value_counts:
+                remaining = self.value_counts[stat_key] - removed
+                if remaining > 0:
+                    self.value_counts[stat_key] = remaining
+                else:
+                    del self.value_counts[stat_key]
+
     def _iter_entries(self, db: XmlDatabase, rows) -> "Iterator[tuple]":
         """Map 4-ary rows to ``(key, payload)`` entries.
 
@@ -97,23 +125,40 @@ class DataPathsIndex(PathIndex):
         pruning counters and the ``value_counts`` statistics.
         """
         for row in rows:
-            if self.head_pruner is not None and row.head_id != VIRTUAL_ROOT_ID:
-                head_label = db.node(row.head_id).label
-                if not self.head_pruner.keeps_label(head_label):
-                    self.pruned_count += 1
-                    continue
-            reverse_labels = tuple(reversed(row.schema_path))
-            tag_ids = tuple(db.tags.intern(label) for label in reverse_labels)
-            if self.schema_path_dictionary and self._path_dictionary is not None:
-                path_component: tuple = (self._path_dictionary.intern(row.schema_path),)
-            else:
-                path_component = tag_ids
-            key = encode_key((row.head_id, row.leaf_value, *path_component))
+            mapped = self._map_row(db, row)
+            if mapped is None:
+                self.pruned_count += 1
+                continue
+            key, payload, stat_key = mapped
             self.entry_count += 1
-            if row.head_id == VIRTUAL_ROOT_ID:
-                stat_key = (row.schema_path[-1], row.leaf_value)
+            if stat_key is not None:
                 self.value_counts[stat_key] = self.value_counts.get(stat_key, 0) + 1
-            yield key, (row.schema_path, row.id_list, row.leaf_value, row.head_id)
+            yield key, payload
+
+    def _map_row(self, db: XmlDatabase, row):
+        """One row's ``(key, payload, stat_key)``, or ``None`` when pruned.
+
+        Stateless and shared by build, incremental insert and
+        incremental delete.  The head's label is read from the schema
+        path itself (its first component) rather than via ``db.node`` —
+        a removed document's head ids are no longer resolvable in the
+        database, but its rows must map to exactly the entries they
+        produced at insert time.
+        """
+        if self.head_pruner is not None and row.head_id != VIRTUAL_ROOT_ID:
+            if not self.head_pruner.keeps_label(row.schema_path[0]):
+                return None
+        reverse_labels = tuple(reversed(row.schema_path))
+        tag_ids = tuple(db.tags.intern(label) for label in reverse_labels)
+        if self.schema_path_dictionary and self._path_dictionary is not None:
+            path_component: tuple = (self._path_dictionary.intern(row.schema_path),)
+        else:
+            path_component = tag_ids
+        key = encode_key((row.head_id, row.leaf_value, *path_component))
+        stat_key = None
+        if row.head_id == VIRTUAL_ROOT_ID:
+            stat_key = (row.schema_path[-1], row.leaf_value)
+        return key, (row.schema_path, row.id_list, row.leaf_value, row.head_id), stat_key
 
     # ------------------------------------------------------------------
     # FreeIndex lookups

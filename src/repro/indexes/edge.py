@@ -23,7 +23,7 @@ from ..storage.btree import BPlusTree
 from ..storage.heap import HeapFile
 from ..storage.keys import encode_key
 from ..storage.stats import StatsCollector
-from ..xmltree.document import XmlDatabase
+from ..xmltree.document import VIRTUAL_ROOT_ID, VIRTUAL_ROOT_LABEL, XmlDatabase
 from .base import FamilyDescriptor, PathIndex
 
 
@@ -38,6 +38,8 @@ class EdgeIndex(PathIndex):
     )
     #: ``update()`` appends the new document's edges in place.
     incremental = True
+    #: ``remove()`` deletes the removed document's edges in place.
+    incremental_removal = True
 
     def __init__(self, stats: Optional[StatsCollector] = None, order: int = 128) -> None:
         super().__init__(stats)
@@ -68,6 +70,39 @@ class EdgeIndex(PathIndex):
         for node in document.iter_structural():
             self._insert_node(node)
 
+    def _remove(self, db: XmlDatabase, document) -> None:
+        """Incremental deletion of one removed document's edges.
+
+        Every structural node's tag, value and link index entries are
+        deleted by the exact keys :meth:`_insert_node` produced, and the
+        document's heap rows — contiguous, because adds append in
+        document order — are filtered out of the pages its id span
+        touches.
+        """
+        assert self.heap is not None
+        deleted_nodes = 0
+        for node in document.iter_structural():
+            self._delete_node_entries(node, document)
+            deleted_nodes += 1
+        first_id, end_id = document.first_id, document.end_id
+        self.heap.delete_where(lambda row: first_id <= row[1] < end_id)
+        self.edge_count -= deleted_nodes
+
+    def _parent_edge(self, node, document=None):
+        """The ``(parent_id, parent_label)`` an Edge row records.
+
+        A document root's parent is the database's virtual root at
+        insert time; after removal the root is detached (``parent is
+        None``), so the virtual-root identity is reconstructed instead
+        of read from the tree.
+        """
+        parent = node.parent
+        if parent is not None:
+            return parent.node_id, parent.label
+        if document is not None and node is document.root:
+            return VIRTUAL_ROOT_ID, VIRTUAL_ROOT_LABEL
+        return None, None
+
     def _insert_node(self, node) -> None:
         """Append one structural node's Edge row and index entries."""
         assert (
@@ -77,9 +112,7 @@ class EdgeIndex(PathIndex):
             and self._forward_index is not None
             and self._backward_index is not None
         )
-        parent = node.parent
-        parent_id = parent.node_id if parent is not None else None
-        parent_label = parent.label if parent is not None else None
+        parent_id, parent_label = self._parent_edge(node)
         value = node.first_value()
         self.heap.append((parent_id, node.node_id, node.label, value))
         self.edge_count += 1
@@ -93,6 +126,27 @@ class EdgeIndex(PathIndex):
             self._backward_index.insert(
                 encode_key((node.node_id,)), (parent_id, parent_label)
             )
+
+    def _delete_node_entries(self, node, document) -> None:
+        """Delete one structural node's index entries (mirror of insert)."""
+        assert (
+            self._value_index is not None
+            and self._tag_index is not None
+            and self._forward_index is not None
+            and self._backward_index is not None
+        )
+        parent_id, parent_label = self._parent_edge(node, document)
+        value = node.first_value()
+        self._tag_index.delete(encode_key((node.label,)), value=node.node_id)
+        if value is not None:
+            self._value_index.delete(
+                encode_key((node.label, value)), value=node.node_id
+            )
+        if parent_id is not None:
+            self._forward_index.delete(
+                encode_key((parent_id, node.label)), value=node.node_id
+            )
+            self._backward_index.delete(encode_key((node.node_id,)))
 
     # ------------------------------------------------------------------
     # Lookup primitives used by the Edge / DG+Edge / IF+Edge strategies

@@ -53,6 +53,8 @@ class RootPathsIndex(PathIndex):
     )
     #: ``update()`` inserts the new document's rows in place.
     incremental = True
+    #: ``remove()`` deletes the removed document's rows in place.
+    incremental_removal = True
 
     def __init__(
         self,
@@ -99,11 +101,49 @@ class RootPathsIndex(PathIndex):
         for row in iter_rootpaths_rows(db, documents=(document,)):
             self._tree.insert(*self._entry_for_row(db, row))
 
+    def _remove(self, db: XmlDatabase, document) -> None:
+        """Incremental deletion of one removed document's rows.
+
+        The detached document still carries its node ids, so the exact
+        ``(key, payload)`` entries it contributed at build/update time
+        are recomputed and deleted one B+-tree ``delete`` each —
+        shrinking the stored IdList set — while ``entry_count`` and the
+        ``value_counts`` catalog statistics are decremented to what a
+        from-scratch build over the remaining documents would count.
+        Dictionaries never shrink (ids are positional), which only
+        costs a few bytes of dead designators, not correctness:
+        lookups translate through the database dictionary, which
+        reports fully released tags as unknown.
+        """
+        assert self._tree is not None
+        for row in iter_rootpaths_rows(db, documents=(document,)):
+            key, payload, stat_key = self._row_entry(db, row)
+            removed = self._tree.delete(key, value=payload)
+            self.entry_count -= removed
+            if removed and stat_key in self.value_counts:
+                remaining = self.value_counts[stat_key] - removed
+                if remaining > 0:
+                    self.value_counts[stat_key] = remaining
+                else:
+                    del self.value_counts[stat_key]
+
     def _entry_for_row(self, db: XmlDatabase, row) -> tuple:
         """The ``(key, payload)`` entry one 4-ary row contributes.
 
         Also maintains ``entry_count`` and the ``value_counts`` catalog
         statistics, so build and incremental update cannot drift.
+        """
+        key, payload, stat_key = self._row_entry(db, row)
+        self.entry_count += 1
+        self.value_counts[stat_key] = self.value_counts.get(stat_key, 0) + 1
+        return key, payload
+
+    def _row_entry(self, db: XmlDatabase, row) -> tuple:
+        """Map one 4-ary row to ``(key, payload, stat_key)``, statelessly.
+
+        Shared by build, incremental insert and incremental delete so
+        the three paths cannot disagree about what a row looks like in
+        the tree.
         """
         key_labels = self._key_labels(row.schema_path)
         tag_ids = tuple(db.tags.intern(label) for label in key_labels)
@@ -113,10 +153,8 @@ class RootPathsIndex(PathIndex):
             path_component = tag_ids
         key = encode_key((row.leaf_value, *path_component))
         ids = row.id_list if self.store_full_idlist else row.id_list[-1:]
-        self.entry_count += 1
         stat_key = (row.schema_path[-1], row.leaf_value)
-        self.value_counts[stat_key] = self.value_counts.get(stat_key, 0) + 1
-        return key, (row.schema_path, ids, row.leaf_value)
+        return key, (row.schema_path, ids, row.leaf_value), stat_key
 
     def _key_labels(self, labels: Sequence[str]) -> tuple[str, ...]:
         if self.reverse_schema_path:

@@ -170,10 +170,45 @@ class TwigQueryEngine:
         self.maintain_indexes(added)
         return added
 
-    def maintain_indexes(self, document: Document) -> dict[str, bool]:
-        """Bring every built index up to date with one added document.
+    def remove_document(self, ref: Union[Document, str]) -> Document:
+        """Remove a document (by object or unique name), maintaining indexes.
 
-        Returns a map of index name to whether it was maintained
+        The database detaches the document and reclaims its node-id
+        span and tag refcounts
+        (:meth:`~repro.xmltree.document.XmlDatabase.remove_document`);
+        every built index then forgets it through
+        :meth:`~repro.indexes.base.PathIndex.remove` — incremental
+        deletion for ROOTPATHS, DATAPATHS, Edge and DataGuide, a full
+        rebuild over the remaining documents for the rest.  Delete work
+        is charged in the same maintenance-cost currency as adds.
+        Returns the detached document.
+        """
+        removed = self.db.remove_document(ref)
+        self.maintain_indexes(removed, removal=True)
+        return removed
+
+    def replace_document(
+        self, ref: Union[Document, str], replacement: Document
+    ) -> Document:
+        """Replace one document: remove ``ref``, add ``replacement``.
+
+        The replacement is numbered at the current id watermark (fresh
+        ids), exactly as a remove followed by an add — which is what
+        this is, through the same maintenance dispatcher both times.
+        Returns the added replacement.
+        """
+        self.remove_document(ref)
+        return self.add_document(replacement)
+
+    def maintain_indexes(
+        self, document: Document, removal: bool = False
+    ) -> dict[str, bool]:
+        """The maintenance dispatcher: one document add or removal.
+
+        Routes the mutation to every built index —
+        :meth:`~repro.indexes.base.PathIndex.update` for adds,
+        :meth:`~repro.indexes.base.PathIndex.remove` for removals — and
+        returns a map of index name to whether it was maintained
         incrementally (``True``) or fell back to a full rebuild
         (``False``).  Bumps :attr:`update_count` so service-layer
         generations notice the change even when the facade is bypassed.
@@ -181,8 +216,12 @@ class TwigQueryEngine:
         maintained = {}
         for name in sorted(self.indexes):
             index = self.indexes[name]
-            index.update(self.db, document)
-            maintained[name] = index.incremental
+            if removal:
+                index.remove(self.db, document)
+                maintained[name] = index.incremental_removal
+            else:
+                index.update(self.db, document)
+                maintained[name] = index.incremental
         self.update_count += 1
         return maintained
 

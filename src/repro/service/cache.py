@@ -66,6 +66,12 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self.expiries = 0
+        #: Invalidation accounting: how many times :meth:`clear` ran and
+        #: how many live entries it dropped in total.  Surfaced by
+        #: :meth:`describe` so maintenance-heavy workloads (document
+        #: removals invalidate result caches) can be asserted on.
+        self.clears = 0
+        self.cleared_entries = 0
         self._clock = clock
         self._lock = threading.RLock()
         #: key -> (expiry deadline or None, value)
@@ -116,8 +122,15 @@ class LRUCache:
                 self.evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry (hit/miss counters are kept)."""
+        """Drop every entry (hit/miss counters are kept).
+
+        Counted in ``clears`` / ``cleared_entries`` so invalidation
+        traffic is observable next to capacity evictions and TTL
+        expiries.
+        """
         with self._lock:
+            self.clears += 1
+            self.cleared_entries += len(self._entries)
             self._entries.clear()
 
     # ------------------------------------------------------------------
@@ -161,6 +174,8 @@ class LRUCache:
                 "hit_rate": self.hit_rate,
                 "evictions": self.evictions,
                 "expiries": self.expiries,
+                "clears": self.clears,
+                "cleared_entries": self.cleared_entries,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -22,15 +22,17 @@ repeated-query serving workload all of that is pure overhead.
 
 The service watches a generation fingerprint of the database and the
 engine's index-build and index-maintenance counters, so results cached
-before an ``add_document`` / ``build_index`` can never be served
-afterwards even when the mutation bypassed the service's own
-:meth:`~QueryService.invalidate`.  The fingerprint distinguishes two
-kinds of change:
+before an ``add_document`` / ``remove_document`` / ``build_index`` can
+never be served afterwards even when the mutation bypassed the
+service's own :meth:`~QueryService.invalidate`.  The fingerprint
+distinguishes two kinds of change (see ``docs/ARCHITECTURE.md``,
+"Generations and invalidation"):
 
-* **incremental update** (a document was added and the built indexes
-  absorbed it in place): cached results and optimizer choices are
-  stale and dropped, but parsed plans and strategy instances stay —
-  an add changes answers, not the query language or the index set;
+* **incremental update** (a document was added, removed or replaced
+  and the built indexes absorbed the change in place): cached results
+  and optimizer choices are stale and dropped, but parsed plans and
+  strategy instances stay — a document mutation changes answers, not
+  the query language or the index set;
 * **rebuild** (an index was built or rebuilt): everything is dropped,
   including the plan cache and the reusable strategy instances.
 
@@ -91,9 +93,14 @@ class QueryService(ServingFacade):
         self._lock = threading.RLock()
         self.invalidations = 0
         #: How many invalidations only dropped results (incremental
-        #: document adds) vs flushed everything (index rebuilds).
+        #: document mutations) vs flushed everything (index rebuilds).
         self.result_invalidations = 0
         self.full_invalidations = 0
+        #: Document-mutation counters surfaced by :meth:`describe` so
+        #: benchmarks can assert on maintenance activity.
+        self.documents_added = 0
+        self.documents_removed = 0
+        self.documents_replaced = 0
         self.auto_choice_counts: dict[str, int] = {}
         self.last_choice: Optional[StrategyChoice] = None
 
@@ -126,6 +133,39 @@ class QueryService(ServingFacade):
         """
         with self._lock:
             added = self.engine.add_document(document)
+            self.documents_added += 1
+            self.invalidate(rebuilt=False)
+            return added
+
+    def remove_document(self, ref: Union[Document, str]) -> Document:
+        """Remove a document through the engine under the service lock.
+
+        Built indexes forget the document incrementally where they can
+        (see :meth:`TwigQueryEngine.remove_document`).  A removal is an
+        incremental update to the generation model: cached results and
+        optimizer choices are dropped, parsed plans and strategy
+        instances survive — removing data changes answers, not plans.
+        Returns the detached document.
+        """
+        with self._lock:
+            removed = self.engine.remove_document(ref)
+            self.documents_removed += 1
+            self.invalidate(rebuilt=False)
+            return removed
+
+    def replace_document(
+        self, ref: Union[Document, str], replacement: Document
+    ) -> Document:
+        """Replace a document (remove + add) atomically under the lock.
+
+        Readers serialize on the service lock, so no query can observe
+        the half-replaced state (old version gone, new version not yet
+        added).  One incremental invalidation covers both halves.
+        Returns the added replacement.
+        """
+        with self._lock:
+            added = self.engine.replace_document(ref, replacement)
+            self.documents_replaced += 1
             self.invalidate(rebuilt=False)
             return added
 
@@ -149,9 +189,10 @@ class QueryService(ServingFacade):
         ``rebuilt=True`` (an index was built or rebuilt) flushes
         everything: results, optimizer choices, parsed plans and the
         reusable strategy instances.  ``rebuilt=False`` (a document was
-        added and the indexes were maintained in place) drops only the
-        result and choice caches — parsed plans and strategy instances
-        remain valid.  A ``rebuilt=False`` call that finds an
+        added, removed or replaced and the indexes were maintained in
+        place) drops only the result and choice caches — parsed plans
+        and strategy instances remain valid.  A ``rebuilt=False`` call
+        that finds an
         unobserved index build in the generation fingerprint escalates
         to a full flush — adopting the build silently would skip the
         rebuild contract.
@@ -372,6 +413,13 @@ class QueryService(ServingFacade):
                 "invalidations": self.invalidations,
                 "result_invalidations": self.result_invalidations,
                 "full_invalidations": self.full_invalidations,
+                "maintenance": {
+                    "documents_added": self.documents_added,
+                    "documents_removed": self.documents_removed,
+                    "documents_replaced": self.documents_replaced,
+                    "index_builds": self.engine.build_count,
+                    "index_updates": self.engine.update_count,
+                },
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,6 +20,16 @@ received the same documents in the same order.  Translating shard-local
 answers through these spans makes the sharded tier answer-identical to
 a single-engine database (the differential tests pin this), and lets
 queries be scoped to named documents with shard pruning.
+
+Removal routes to the owning shard
+(:meth:`ShardedCollection.remove_document`): the shard's service
+deletes the document from its database and indexes incrementally, and
+the collection retires the placement from the live maps while keeping
+its span in the translation table — neither global nor shard-local ids
+are ever reused, so in-flight answers computed against the pre-removal
+shard snapshot still translate (the consistent-cut contract), and the
+post-removal id space equals a single engine's after the same removal.
+See ``docs/ARCHITECTURE.md`` ("The shard tier").
 """
 
 from __future__ import annotations
@@ -138,6 +148,11 @@ class ShardedCollection:
         #: the other shards.
         self._lock = threading.RLock()
         self._ordinal = 0
+        #: Replacements performed through :meth:`replace_document`; the
+        #: per-shard services see a replace as a remove + an add, so
+        #: this collection-level counter is the one place the operation
+        #: is counted as itself.
+        self.documents_replaced = 0
         self._placements: list[DocumentPlacement] = []
         self._by_name: dict[str, list[DocumentPlacement]] = {}
         #: Per shard: placements sorted by local_start (adds only ever
@@ -227,6 +242,69 @@ class ShardedCollection:
     def add_documents(self, documents: Iterable[Document]) -> list[DocumentPlacement]:
         """Route several documents (arrival order fixes the global ids)."""
         return [self.add_document(document) for document in documents]
+
+    # ------------------------------------------------------------------
+    # Removal and replacement
+    # ------------------------------------------------------------------
+    def remove_document(self, name: str) -> DocumentPlacement:
+        """Remove the uniquely named document from its owning shard.
+
+        The owning shard's service removes the document from its
+        database and built indexes (incremental deletion where
+        supported) and invalidates that shard's cached results only.
+        The placement is retired from the live maps (``placements()``,
+        ``placements_for``, ``document_count``) but its span stays in
+        the shard's translation table: local and global ids are never
+        reused, so a concurrently scattered query that executed against
+        the pre-removal shard snapshot can still translate its answer —
+        the same consistent-cut contract adds follow, from the other
+        direction.  Returns the retired placement.
+        """
+        with self._lock:
+            placements = self._by_name.get(name, [])
+            if not placements:
+                raise DocumentError(f"no document named {name!r}")
+            if len(placements) > 1:
+                raise DocumentError(
+                    f"document name {name!r} is ambiguous "
+                    f"({len(placements)} placements)"
+                )
+            placement = placements[0]
+        shard = self.shards[placement.shard_index]
+        with shard.add_lock:
+            shard.service.remove_document(name)
+            with self._lock:
+                self._placements.remove(placement)
+                remaining = self._by_name[name]
+                remaining.remove(placement)
+                if not remaining:
+                    del self._by_name[name]
+        return placement
+
+    def replace_document(self, name: str, replacement: Document) -> DocumentPlacement:
+        """Replace the named document: remove it, then add ``replacement``.
+
+        The replacement routes through the placement policy like any
+        add (a hash policy keeps it on the same shard; others may not)
+        and is numbered at the current global watermark — exactly the
+        ids a single engine would assign after the same remove + add.
+        Returns the new placement.
+
+        Unlike the single-engine
+        :meth:`~repro.service.service.QueryService.replace_document`,
+        the two halves are **not** atomic under one lock: the
+        replacement may land on a different shard, and holding two
+        shards' add locks at once would invite lock-order deadlocks.
+        A query racing a replace may therefore observe the gap state
+        (old version gone, new version not yet added) — one more
+        consistent cut under the tier's documented scatter-gather
+        contract; once writes quiesce, answers are exact.
+        """
+        self.remove_document(name)
+        placement = self.add_document(replacement)
+        with self._lock:
+            self.documents_replaced += 1
+        return placement
 
     # ------------------------------------------------------------------
     # Index management (fanned to every shard)

@@ -110,6 +110,27 @@ class ShardedQueryService(ServingFacade):
         self.collection.add_document(document)
         return document
 
+    def remove_document(self, name: str) -> DocumentPlacement:
+        """Remove the named document from its owning shard.
+
+        Routing, incremental index deletion and span retirement are
+        :meth:`ShardedCollection.remove_document`'s contract; only the
+        owning shard's caches are invalidated, and the merged answer
+        stream stays identical to a single engine that performed the
+        same removal.  Returns the retired placement.
+        """
+        return self.collection.remove_document(name)
+
+    def replace_document(self, name: str, replacement: Document) -> DocumentPlacement:
+        """Replace the named document (remove + re-add through placement).
+
+        Weaker atomicity than the single-engine facade: the two halves
+        run under the owning shards' own locks, not one global lock, so
+        a racing query may observe the document absent between them —
+        see :meth:`ShardedCollection.replace_document`.
+        """
+        return self.collection.replace_document(name, replacement)
+
     def build_index(self, name: str, **options) -> None:
         """Build one index of the family on every shard."""
         self.collection.build_index(name, **options)
@@ -275,7 +296,15 @@ class ShardedQueryService(ServingFacade):
         for cache_name in ("plan_cache", "result_cache", "choice_cache"):
             aggregated[cache_name] = {
                 counter: sum(r[cache_name][counter] for r in shard_reports)
-                for counter in ("size", "hits", "misses", "evictions", "expiries")
+                for counter in (
+                    "size",
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "expiries",
+                    "clears",
+                    "cleared_entries",
+                )
             }
         report["caches"] = aggregated
         report["invalidations"] = {
@@ -283,6 +312,22 @@ class ShardedQueryService(ServingFacade):
             "result_only": sum(r["result_invalidations"] for r in shard_reports),
             "full": sum(r["full_invalidations"] for r in shard_reports),
         }
+        report["maintenance"] = {
+            counter: sum(r["maintenance"][counter] for r in shard_reports)
+            for counter in (
+                "documents_added",
+                "documents_removed",
+                "index_builds",
+                "index_updates",
+            )
+        }
+        # A replace decomposes into a remove + an add at the shard
+        # services (the halves may even land on different shards), so
+        # the per-shard counters record the decomposition; the
+        # collection counts the operation as itself.
+        report["maintenance"]["documents_replaced"] = (
+            self.collection.documents_replaced
+        )
         report["queries_executed"] = self.queries_executed
         return report
 

@@ -177,8 +177,16 @@ class BPlusTree:
         When ``value`` is given only entries whose value equals it are
         removed; otherwise every entry with the key is removed.  Returns
         the number of entries deleted.  Underfull nodes are not
-        rebalanced — deletions in this library are rare (maintenance
-        extension only) and lookups stay correct either way.
+        rebalanced — deletions here come from incremental index
+        maintenance (``remove_document``) and lookups stay correct
+        either way; the churn tests pin that every structural invariant
+        (leaf chain order, uniform leaf depth, size accounting) holds
+        through arbitrary delete/reinsert interleavings.
+
+        Charges ``btree_deletes`` per removed entry (per-entry CPU
+        work, the delete-side analogue of ``btree_writes``) plus one
+        ``btree_page_writes`` per leaf actually modified — the counters
+        :func:`~repro.storage.stats.maintenance_cost` prices.
         """
         leaf = self._find_leaf(key, count=False)
         removed = 0
@@ -201,7 +209,7 @@ class BPlusTree:
             leaf = leaf.next
             if leaf is None or (leaf.keys and leaf.keys[0] > key):
                 break
-        self.stats.btree_writes += max(removed, 1)
+        self.stats.btree_deletes += max(removed, 1)
         return removed
 
     # ------------------------------------------------------------------

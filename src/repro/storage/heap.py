@@ -52,6 +52,29 @@ class HeapFile:
             self.append(row)
 
     # ------------------------------------------------------------------
+    def delete_where(self, predicate) -> int:
+        """Remove every row for which ``predicate(row)`` is true.
+
+        Pages are filtered in place; a page whose contents changed
+        charges one ``heap_page_writes`` (and a read to inspect it —
+        the scan half of a delete).  Emptied pages are kept so
+        previously returned ``(page, slot)`` row ids of *surviving
+        pages* stay stable; slots inside a modified page shift, which
+        is fine for the Edge table because it is only ever scanned or
+        reached through its secondary indexes, never by stored row id.
+        Returns the number of rows removed.
+        """
+        removed = 0
+        for page in self._pages:
+            self.stats.heap_page_reads += 1
+            kept = [row for row in page if not predicate(row)]
+            if len(kept) != len(page):
+                removed += len(page) - len(kept)
+                page[:] = kept
+                self.stats.heap_page_writes += 1
+        return removed
+
+    # ------------------------------------------------------------------
     def fetch(self, row_id: tuple[int, int]) -> Any:
         """Fetch one row by ``(page, slot)``, charging one page read."""
         page_number, slot = row_id

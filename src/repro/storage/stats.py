@@ -15,6 +15,13 @@ additionally reports *logical* work through a shared
 Benchmarks use these counters (together with wall-clock time) to check
 that the *shape* of the paper's results holds: which strategy wins, by
 roughly what factor, and where crossovers occur.
+
+The write-side counters (``btree_writes``, ``btree_deletes``,
+``btree_page_writes``, ``heap_page_writes``) price index maintenance —
+builds, incremental inserts on ``add_document`` and incremental deletes
+on ``remove_document`` — in the same currency, via
+:func:`maintenance_cost`.  See ``docs/ARCHITECTURE.md`` ("The cost
+currency") for how the two formulas relate.
 """
 
 from __future__ import annotations
@@ -77,15 +84,17 @@ def maintenance_cost(counters: Mapping[str, int]) -> int:
 
     Expressed in the same weighted currency as :func:`weighted_cost`
     (pages dominate per-entry CPU work), so "incrementally insert one
-    document" and "rebuild the index from scratch" are comparable
-    numbers: page-granular B+-tree and heap writes carry
-    :data:`PAGE_WRITE_WEIGHT`, per-entry insert/delete work
-    (``btree_writes``) counts like a scanned entry.
+    document", "incrementally remove one document" and "rebuild the
+    index from scratch" are comparable numbers: page-granular B+-tree
+    and heap writes carry :data:`PAGE_WRITE_WEIGHT`, per-entry insert
+    work (``btree_writes``) and per-entry delete work
+    (``btree_deletes``) count like a scanned entry.
     """
     return (
         PAGE_WRITE_WEIGHT
         * (counters.get("btree_page_writes", 0) + counters.get("heap_page_writes", 0))
         + counters.get("btree_writes", 0)
+        + counters.get("btree_deletes", 0)
     )
 
 
@@ -96,6 +105,7 @@ class StatsCollector:
     btree_node_reads: int = 0
     btree_entries_scanned: int = 0
     btree_writes: int = 0
+    btree_deletes: int = 0
     btree_page_writes: int = 0
     heap_page_reads: int = 0
     heap_page_writes: int = 0

@@ -18,6 +18,17 @@ Two encodings are provided:
 The paper notes that the cost of translating a tag name to the internal
 representation is negligible because the table fits in a single page;
 the same holds here.
+
+Because documents can be **removed** as well as added, the dictionary
+additionally reference-counts the tags the database itself holds
+(:meth:`TagDictionary.acquire` / :meth:`TagDictionary.release`, one
+count per structural node).  A tag whose count drops to zero keeps its
+id — ids are positional and indexes may still carry entries mentioning
+it — but :meth:`TagDictionary.id_of` reports it as unknown, so query
+translation short-circuits to an empty answer exactly as it would
+against a database that never contained the tag.  Index-side interning
+(:meth:`TagDictionary.intern`) never touches the counts: refcounts
+track document content, not how many indexes mention a tag.
 """
 
 from __future__ import annotations
@@ -39,6 +50,10 @@ class TagDictionary:
     def __init__(self) -> None:
         self._tag_to_id: dict[str, int] = {}
         self._id_to_tag: list[str] = []
+        #: Live-occurrence refcounts, maintained only by acquire/release
+        #: (document adds and removals); tags interned by indexes alone
+        #: have no entry here and count as live.
+        self._live_counts: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._id_to_tag)
@@ -66,16 +81,60 @@ class TagDictionary:
         return [self.intern(t) for t in tags]
 
     # ------------------------------------------------------------------
+    # Live-occurrence reference counting (document adds and removals)
+    # ------------------------------------------------------------------
+    def acquire(self, tag: str) -> int:
+        """Intern ``tag`` and count one live occurrence of it.
+
+        Called once per structural node a document add contributes;
+        the id is stable across acquire/release cycles.
+        """
+        tag_id = self.intern(tag)
+        self._live_counts[tag] = self._live_counts.get(tag, 0) + 1
+        return tag_id
+
+    def release(self, tag: str) -> int:
+        """Drop one live occurrence of ``tag`` (a document removal).
+
+        Returns the remaining live count.  At zero the tag keeps its id
+        (indexes may still mention it) but :meth:`id_of` reports it as
+        unknown, matching a database that never held the tag.
+        """
+        count = self._live_counts.get(tag, 0)
+        if count <= 0:
+            raise KeyError(f"tag {tag!r} has no live occurrences to release")
+        count -= 1
+        self._live_counts[tag] = count
+        return count
+
+    def live_count(self, tag: str) -> int:
+        """Number of live occurrences recorded for ``tag``.
+
+        Tags never acquired (interned by an index only, or unknown)
+        report zero.
+        """
+        return self._live_counts.get(tag, 0)
+
+    def _is_live(self, tag: str) -> bool:
+        """Refcounted tags are live above zero; untracked tags always."""
+        count = self._live_counts.get(tag)
+        return count is None or count > 0
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def id_of(self, tag: str) -> int | None:
-        """The id of ``tag`` or ``None`` when the tag has never been seen.
+        """The id of ``tag`` or ``None`` when no live node carries it.
 
-        A missing tag means no node in the database carries it, so a
-        query mentioning it has an empty result; callers use ``None`` as
-        that signal instead of raising.
+        A missing tag — never seen, or acquired and since fully
+        released by document removals — means no node in the database
+        carries it, so a query mentioning it has an empty result;
+        callers use ``None`` as that signal instead of raising.
         """
-        return self._tag_to_id.get(tag)
+        tag_id = self._tag_to_id.get(tag)
+        if tag_id is None or not self._is_live(tag):
+            return None
+        return tag_id
 
     def tag_of(self, tag_id: int) -> str:
         """The tag name for an id previously returned by :meth:`intern`."""
@@ -113,5 +172,10 @@ class TagDictionary:
         return [self.tag_of(i) for i in tag_ids]
 
     def estimated_size_bytes(self) -> int:
-        """Approximate space for the translation table (paper: one page)."""
-        return sum(len(t) + 8 for t in self._id_to_tag)
+        """Approximate space for the translation table (paper: one page).
+
+        Only live tags are charged: removals reclaim the space a
+        rebuilt-from-scratch dictionary over the remaining documents
+        would not spend.
+        """
+        return sum(len(t) + 8 for t in self._id_to_tag if self._is_live(t))

@@ -5,11 +5,20 @@ is the forest the paper indexes: it owns the node-id space, the tag
 dictionary, and (as in Section 3.3, footnote 4) a *virtual root* that is
 the parent of every document root so that the DATAPATHS index can solve
 the FreeIndex problem by using the virtual root as the HeadId.
+
+The database is mutable in both directions: :meth:`XmlDatabase.add_document`
+numbers a new document at the id watermark, and
+:meth:`XmlDatabase.remove_document` detaches one, reclaiming its node-id
+span and its tag-dictionary refcounts.  Ids of removed nodes are never
+reused — the watermark only grows — so surviving documents keep their
+ids and incremental index maintenance can delete exactly the removed
+document's rows (see ``docs/ARCHITECTURE.md``, "Mutation and the
+generation model").
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from ..errors import DocumentError
 from .dictionary import TagDictionary
@@ -30,6 +39,10 @@ class Document:
             raise DocumentError("document root must be an element")
         self.root = root
         self.name = name
+        #: Half-open node-id span ``[first_id, end_id)`` assigned by
+        #: :meth:`XmlDatabase.add_document`; ``None`` until added.
+        self.first_id: Optional[int] = None
+        self.end_id: Optional[int] = None
 
     def iter_nodes(self) -> Iterator[Node]:
         """All nodes of the document in document order."""
@@ -66,6 +79,7 @@ class XmlDatabase:
         self.tags = TagDictionary()
         self._nodes_by_id: dict[int, Node] = {VIRTUAL_ROOT_ID: self.virtual_root}
         self._next_id = 1
+        self._removed_count = 0
 
     # ------------------------------------------------------------------
     # Loading
@@ -79,7 +93,9 @@ class XmlDatabase:
         document.root.parent = self.virtual_root
         document.root.depth = 1
         self.virtual_root.children.append(document.root)
+        document.first_id = self._next_id
         self._renumber(document.root)
+        document.end_id = self._next_id
         self.documents.append(document)
         return document
 
@@ -95,10 +111,75 @@ class XmlDatabase:
             self._next_id += 1
             self._nodes_by_id[node.node_id] = node
             if node.is_structural:
-                self.tags.intern(node.label)
+                self.tags.acquire(node.label)
             if node.parent is not None and node.parent is not self.virtual_root:
                 node.depth = node.parent.depth + 1
             stack.extend(reversed(node.children))
+
+    # ------------------------------------------------------------------
+    # Removal and replacement
+    # ------------------------------------------------------------------
+    def resolve_document(self, ref: "Union[Document, str]") -> Document:
+        """The live document ``ref`` names.
+
+        ``ref`` is either a :class:`Document` currently in the database
+        or a document name that identifies exactly one live document.
+
+        Raises
+        ------
+        DocumentError
+            If the document is not in the database, the name is
+            unknown, or the name is ambiguous.
+        """
+        if isinstance(ref, Document):
+            if not any(document is ref for document in self.documents):
+                raise DocumentError(
+                    f"document {ref.name!r} is not part of this database"
+                )
+            return ref
+        matches = [document for document in self.documents if document.name == ref]
+        if not matches:
+            raise DocumentError(f"no document named {ref!r}")
+        if len(matches) > 1:
+            raise DocumentError(
+                f"document name {ref!r} is ambiguous ({len(matches)} matches); "
+                "pass the Document object instead"
+            )
+        return matches[0]
+
+    def remove_document(self, ref: "Union[Document, str]") -> Document:
+        """Detach one document, reclaiming its id span and tag refcounts.
+
+        The document's nodes are dropped from the id map (their ids are
+        retired, never reused — the watermark keeps growing), its tags
+        are released from the dictionary's live counts, and its root is
+        unlinked from the virtual root.  The returned document keeps
+        its tree, its node ids and its recorded ``[first_id, end_id)``
+        span intact, which is exactly what incremental index
+        maintenance needs to delete the rows it once inserted.
+        """
+        document = self.resolve_document(ref)
+        for node in document.iter_nodes():
+            self._nodes_by_id.pop(node.node_id, None)
+            if node.is_structural:
+                self.tags.release(node.label)
+        self.virtual_root.children.remove(document.root)
+        document.root.parent = None
+        self.documents.remove(document)
+        self._removed_count += 1
+        return document
+
+    def replace_document(
+        self, ref: "Union[Document, str]", replacement: Document
+    ) -> Document:
+        """Remove ``ref`` and add ``replacement`` in its stead.
+
+        The replacement is numbered at the current watermark (fresh
+        ids), exactly as if it had been removed and re-added — there is
+        no in-place renumbering.  Returns the added replacement.
+        """
+        self.remove_document(ref)
+        return self.add_document(replacement)
 
     # ------------------------------------------------------------------
     # Access
@@ -133,13 +214,15 @@ class XmlDatabase:
         return (n for n in self.iter_structural() if n.label == label)
 
     @property
-    def revision(self) -> tuple[int, int]:
-        """O(1) change fingerprint: (documents added, node-id watermark).
+    def revision(self) -> tuple[int, int, int]:
+        """O(1) change fingerprint: (live documents, id watermark, removals).
 
-        Any document addition advances it, so caches can detect staleness
-        without walking the trees.
+        Any document addition advances the watermark and any removal
+        advances the removal counter, so caches can detect staleness
+        without walking the trees.  Index ``1`` (the watermark) is the
+        next unassigned node id; the sharded tier reads it directly.
         """
-        return (len(self.documents), self._next_id)
+        return (len(self.documents), self._next_id, self._removed_count)
 
     @property
     def node_count(self) -> int:
@@ -176,21 +259,19 @@ class XmlDatabase:
 
         :meth:`add_document` numbers each document's nodes contiguously
         (pre-order, continuing from the previous watermark), so every
-        document owns one half-open id interval ``[first_id, end_id)``.
-        The sharded tier uses these spans to translate a shard-local id
-        space into the id space a single database holding the same
-        documents (in the same arrival order) would have assigned, and
-        to scope query answers to named documents.
+        document owns one half-open id interval ``[first_id, end_id)``,
+        recorded at add time — removals leave the surviving documents'
+        spans untouched (their ids never shift), they just drop the
+        removed document's span from this list.  The sharded tier uses
+        these spans to translate a shard-local id space into the id
+        space a single database holding the same documents (in the same
+        arrival order) would have assigned, and to scope query answers
+        to named documents.
         """
-        spans: list[tuple[str, int, int]] = []
-        for position, document in enumerate(self.documents):
-            start = document.root.node_id
-            if position + 1 < len(self.documents):
-                end = self.documents[position + 1].root.node_id
-            else:
-                end = self._next_id
-            spans.append((document.name, start, end))
-        return spans
+        return [
+            (document.name, document.first_id, document.end_id)
+            for document in self.documents
+        ]
 
     # ------------------------------------------------------------------
     # Statistics helpers used by the planner and the benches

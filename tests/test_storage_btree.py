@@ -223,7 +223,7 @@ def test_churn_against_sorted_dict_oracle(seed, order):
         _check_invariants(tree, oracle)
 
 
-def test_delete_charges_page_writes():
+def test_delete_charges_page_writes_and_delete_counter():
     stats = StatsCollector()
     tree = BPlusTree(order=4, stats=stats)
     for i in range(20):
@@ -231,7 +231,116 @@ def test_delete_charges_page_writes():
     stats.reset()
     assert tree.delete(encode_key(("k", 3))) == 1
     assert stats.btree_page_writes >= 1
-    assert stats.btree_writes >= 1
+    assert stats.btree_deletes == 1
+    assert stats.btree_writes == 0  # inserts charge writes, deletes don't
+
+
+def test_delete_miss_still_charges_probe_work():
+    stats = StatsCollector()
+    tree = BPlusTree(order=4, stats=stats)
+    for i in range(10):
+        tree.insert(encode_key(("k", i)), i)
+    stats.reset()
+    assert tree.delete(encode_key(("absent",))) == 0
+    # A miss charges the (floored) per-call delete work but no page write.
+    assert stats.btree_deletes == 1
+    assert stats.btree_page_writes == 0
+
+
+def test_delete_counts_in_maintenance_cost_currency():
+    from repro.storage.stats import maintenance_cost
+
+    stats = StatsCollector()
+    tree = BPlusTree(order=4, stats=stats)
+    for i in range(30):
+        tree.insert(encode_key(("k", i % 5)), i)
+    stats.reset()
+    removed = tree.delete(encode_key(("k", 2)))
+    assert removed == 6
+    cost = maintenance_cost(stats.snapshot())
+    # Page-granular leaf writes at weight 10 plus per-entry delete work.
+    assert cost == 10 * stats.btree_page_writes + stats.btree_deletes
+    assert cost > 0
+
+
+def test_delete_emptying_every_leaf_keeps_tree_usable():
+    """Deleting everything leaves a multi-level skeleton that still works."""
+    tree = make_tree(order=4)
+    for i in range(100):
+        tree.insert(encode_key((i,)), i)
+    assert tree.height > 1
+    for i in range(100):
+        assert tree.delete(encode_key((i,))) == 1
+    assert len(tree) == 0
+    assert tree.search(encode_key((50,))) == []
+    assert list(tree.scan_all()) == []
+    # The emptied tree accepts fresh inserts and answers correctly.
+    for i in range(40):
+        tree.insert(encode_key((i,)), f"new{i}")
+    assert tree.search(encode_key((7,))) == ["new7"]
+    assert [v for _k, v in tree.scan_all()] == [f"new{i}" for i in range(40)]
+
+
+def test_delete_duplicates_spanning_leaves_removes_them_all():
+    """Duplicates crossing several underfull leaves are all found."""
+    tree = make_tree(order=4)
+    for i in range(60):
+        tree.insert(encode_key(("dup",)), i)
+    tree.insert(encode_key(("zz",)), "sentinel")
+    # Punch holes first so some leaves go underfull (no rebalancing).
+    for victim in range(0, 60, 3):
+        assert tree.delete(encode_key(("dup",)), value=victim) == 1
+    remaining = [i for i in range(60) if i % 3 != 0]
+    assert sorted(tree.search(encode_key(("dup",)))) == remaining
+    assert tree.delete(encode_key(("dup",))) == len(remaining)
+    assert tree.search(encode_key(("dup",))) == []
+    assert tree.search(encode_key(("zz",))) == ["sentinel"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=4, max_value=12),
+)
+def test_delete_then_reinsert_churn_against_dict_oracle(seed, order):
+    """Remove-document-shaped churn: bulk deletes then reinsertion waves.
+
+    Models the maintenance extension's actual access pattern — a
+    document removal deletes a contiguous batch of (key, payload)
+    entries, a replacement reinserts a similar batch — interleaved with
+    prefix scans, against a dict oracle, with structural invariants
+    checked after every wave.
+    """
+    rng = random.Random(seed)
+    tree = BPlusTree(order=order, stats=StatsCollector())
+    oracle: dict = {}
+    next_id = 0
+    live_batches: list[list[tuple]] = []
+    for _wave in range(12):
+        if live_batches and rng.random() < 0.45:
+            batch = live_batches.pop(rng.randrange(len(live_batches)))
+            for key, value in batch:
+                assert tree.delete(key, value=value) == 1
+                oracle[key].remove(value)
+        else:
+            batch = []
+            for _ in range(rng.randrange(1, 25)):
+                key = encode_key((rng.randrange(8), rng.randrange(4)))
+                value = ("doc", next_id)
+                next_id += 1
+                tree.insert(key, value)
+                oracle.setdefault(key, []).append(value)
+                batch.append((key, value))
+            live_batches.append(batch)
+        probe = encode_key((rng.randrange(8),))
+        expected = sorted(
+            v
+            for k, values in oracle.items()
+            for v in values
+            if k[: len(probe)] == probe
+        )
+        assert sorted(v for _k, v in tree.scan_prefix(probe)) == expected
+        _check_invariants(tree, oracle)
 
 
 def test_insert_charges_page_writes_for_leaf_and_splits():

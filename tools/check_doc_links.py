@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Docs link checker: every local reference in the Markdown docs resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for
+
+* Markdown links ``[text](target)`` whose target is a local path
+  (external ``http(s)``/``mailto`` targets and pure ``#anchors`` are
+  skipped), and
+* inline-code path mentions like ``src/repro/storage/stats.py`` or
+  ``benchmarks/conftest.py`` (backticked tokens containing a ``/`` and
+  a known source/doc suffix),
+
+and fails with a non-zero exit status listing every target that does
+not exist relative to the referencing file (links) or the repository
+root (code mentions).  Run directly or through
+``tests/test_docs_links.py``; CI runs it as the docs link-check step.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — non-greedy, one line, no nested brackets needed.
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked repo paths: at least one '/', a known file suffix.
+CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.(?:py|md|yml|toml))`")
+
+#: Suffixes stripped from link targets before existence checks.
+_ANCHOR = re.compile(r"#.*$")
+
+
+def _documents() -> list[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [doc for doc in docs if doc.exists()]
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:")) or target.startswith(
+        "#"
+    )
+
+
+def check_document(doc: Path) -> list[str]:
+    """Broken references in one Markdown file, as report lines."""
+    problems: list[str] = []
+    try:
+        label = doc.relative_to(REPO_ROOT)
+    except ValueError:  # a file outside the repo (tests use tmp dirs)
+        label = doc
+    text = doc.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in MARKDOWN_LINK.finditer(line):
+            target = _ANCHOR.sub("", match.group(1))
+            if not target or _is_external(match.group(1)):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{label}:{line_number}: "
+                    f"broken link target {target!r}"
+                )
+        for match in CODE_PATH.finditer(line):
+            target = match.group(1)
+            # Trailing globs / wildcard mentions are prose, not paths.
+            if "*" in target:
+                continue
+            if not (REPO_ROOT / target).exists():
+                problems.append(
+                    f"{label}:{line_number}: "
+                    f"missing file mentioned in code span {target!r}"
+                )
+    return problems
+
+
+def main() -> int:
+    documents = _documents()
+    if not documents:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    problems = [problem for doc in documents for problem in check_document(doc)]
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"\n{len(problems)} broken documentation reference(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(documents)} documentation file(s): all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
