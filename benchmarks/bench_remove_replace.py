@@ -34,7 +34,7 @@ from __future__ import annotations
 import pytest
 
 from repro import TwigIndexDatabase
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_report
 from repro.datasets import generate_xmark
 from repro.storage.stats import maintenance_cost
 from repro.workloads.generator import branch_count_sweep
@@ -98,6 +98,15 @@ def shrink_by_one():
             title=f"Shrink-by-one maintenance cost — indexes: "
             f"{', '.join(MAINTAINED_INDEXES)}",
         )
+    )
+    write_bench_report(
+        "remove_replace",
+        {
+            "indexes": list(MAINTAINED_INDEXES),
+            "incremental_cost": incremental_cost,
+            "rebuild_cost": rebuild_cost,
+            "cost_ratio": rebuild_cost / max(1, incremental_cost),
+        },
     )
     return {
         "incremental": incremental,

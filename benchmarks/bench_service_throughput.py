@@ -22,7 +22,7 @@ import time
 
 import pytest
 
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_report
 from repro.service import QueryService
 from repro.workloads import query
 
@@ -70,6 +70,19 @@ def throughput(xmark_context):
         )
     )
     print("service counters:", service.describe())
+    write_bench_report(
+        "service_throughput",
+        {
+            "workload_queries": len(workload),
+            "distinct_queries": len(SERVED_QUERIES),
+            "repeats": REPEATS,
+            "per_query_seconds": per_query_seconds,
+            "batched_seconds": batched_seconds,
+            "batched_qps": queries_per_second,
+            "speedup": per_query_seconds / batched_seconds,
+            "batch_total_cost": batch.total_cost,
+        },
+    )
     return {
         "per_query_seconds": per_query_seconds,
         "batched_seconds": batched_seconds,

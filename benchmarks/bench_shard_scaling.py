@@ -34,7 +34,7 @@ import time
 import pytest
 
 from repro import ShardedQueryService, TwigIndexDatabase
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_report
 from repro.datasets import generate_xmark
 from repro.workloads import query
 
@@ -172,6 +172,22 @@ def scaling():
                 f"one document add per round"
             ),
         )
+    )
+    write_bench_report(
+        "shard_scaling",
+        {
+            "rounds": ROUNDS,
+            "workload": list(FIG12_QUERIES),
+            "single": {"qps": single["qps"], "cost": single["cost"]},
+            "sharded": {
+                str(count): {
+                    "qps": sharded[count]["qps"],
+                    "cost": sharded[count]["cost"],
+                    "throughput_ratio": sharded[count]["qps"] / single["qps"],
+                }
+                for count in SHARD_COUNTS
+            },
+        },
     )
     return {"single": single, "sharded": sharded}
 

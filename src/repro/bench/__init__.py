@@ -8,9 +8,17 @@ from .harness import (
     compare_strategies,
     get_context,
 )
-from .reporting import format_table, measurement_table, size_table, speedup
+from .reporting import (
+    DEFAULT_REPORT_DIR,
+    format_table,
+    measurement_table,
+    size_table,
+    speedup,
+    write_bench_report,
+)
 
 __all__ = [
+    "DEFAULT_REPORT_DIR",
     "DEFAULT_SCALE",
     "ExperimentContext",
     "Measurement",
@@ -21,4 +29,5 @@ __all__ = [
     "measurement_table",
     "size_table",
     "speedup",
+    "write_bench_report",
 ]

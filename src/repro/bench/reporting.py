@@ -1,10 +1,27 @@
-"""Formatting helpers that print paper-style tables from measurements."""
+"""Formatting helpers that print paper-style tables from measurements.
+
+Besides the human-readable tables, :func:`write_bench_report` writes a
+machine-readable ``BENCH_<name>.json`` artifact per benchmark run
+(throughput, weighted costs, configuration — whatever summary the
+bench assembles), so the performance trajectory of the serving tier is
+trackable across PRs instead of living only in CI logs.  Artifacts
+land in ``benchmarks/artifacts/`` by default; set ``BENCH_REPORT_DIR``
+to redirect them.
+"""
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Mapping, Sequence, Union
 
 from .harness import Measurement
+
+#: Default directory (relative to the working directory, i.e. the repo
+#: root when running ``pytest benchmarks/...``) for bench artifacts.
+DEFAULT_REPORT_DIR = "benchmarks/artifacts"
 
 
 def format_table(
@@ -71,6 +88,40 @@ def size_table(sizes_by_dataset: Mapping[str, Mapping[str, float]], title: str =
     for dataset, sizes in sizes_by_dataset.items():
         rows.append([dataset] + [f"{sizes.get(c, 0.0):.2f}" for c in columns])
     return format_table(headers, rows, title=title)
+
+
+def write_bench_report(
+    name: str,
+    summary: Mapping[str, object],
+    directory: Union[str, Path, None] = None,
+) -> Path:
+    """Write one benchmark's machine-readable ``BENCH_<name>.json``.
+
+    ``summary`` is the bench's own measurement dict (throughputs,
+    weighted costs, asserted ratios, configuration); it must be
+    JSON-serializable.  The artifact records the interpreter next to
+    the numbers — wall-clock figures are only comparable across runs
+    of the same environment, logical costs across any.  Returns the
+    written path.  ``directory`` (or the ``BENCH_REPORT_DIR``
+    environment variable) overrides :data:`DEFAULT_REPORT_DIR`.
+    """
+    target_dir = Path(
+        directory
+        if directory is not None
+        else os.environ.get("BENCH_REPORT_DIR", DEFAULT_REPORT_DIR)
+    )
+    target_dir.mkdir(parents=True, exist_ok=True)
+    report = {
+        "bench": name,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "summary": dict(summary),
+    }
+    path = target_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def speedup(reference: Measurement, other: Measurement, metric: str = "total_cost") -> float:

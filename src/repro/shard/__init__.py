@@ -1,4 +1,4 @@
-"""Sharded collections with parallel scatter-gather query execution.
+"""Sharded collections: dynamic topology, rebalancing, replica read-out.
 
 The horizontal-scaling tier over the paper's index family: a
 :class:`ShardedCollection` partitions documents across N self-contained
@@ -9,11 +9,27 @@ shards on a thread pool, translating and merging the per-shard answers
 into the global id space so the sharded tier is answer-identical to a
 single engine.
 
+Routing lives in an explicit, versioned :class:`ShardTopology` — a
+table of :class:`DocumentPlacement` records — which makes the topology
+*dynamic*: :meth:`ShardedCollection.move_document` re-routes one
+document online and :meth:`ShardedCollection.rebalance` re-places a
+skewed corpus under a policy, both through the shards' incremental
+index maintenance, with global ids (and therefore answers) unchanged
+throughout.  :class:`ReplicatedShard` puts N identical engine
+instances behind one shard for read scale-out, with pluggable read
+pickers (:data:`READ_PICKERS`) and write-through maintenance.
+
 Placement is pluggable (:data:`PLACEMENT_POLICIES`): hash-by-name,
-round-robin, or size-balanced.
+round-robin, or size-balanced (deterministic lowest-index tie-break).
 """
 
-from .collection import DocumentPlacement, Shard, ShardedCollection
+from .collection import (
+    DocumentPlacement,
+    RebalanceMove,
+    RebalanceReport,
+    Shard,
+    ShardedCollection,
+)
 from .placement import (
     HashPlacement,
     PLACEMENT_POLICIES,
@@ -22,17 +38,37 @@ from .placement import (
     SizeBalancedPlacement,
     make_placement,
 )
+from .replica import (
+    LeastLoadedPicker,
+    READ_PICKERS,
+    ReadPicker,
+    ReplicatedShard,
+    RoundRobinPicker,
+    StickyPicker,
+    make_picker,
+)
 from .service import ShardedQueryService
+from .topology import ShardTopology
 
 __all__ = [
     "DocumentPlacement",
     "HashPlacement",
+    "LeastLoadedPicker",
     "PLACEMENT_POLICIES",
     "PlacementPolicy",
+    "READ_PICKERS",
+    "ReadPicker",
+    "RebalanceMove",
+    "RebalanceReport",
+    "ReplicatedShard",
+    "RoundRobinPicker",
     "RoundRobinPlacement",
     "Shard",
     "ShardedCollection",
     "ShardedQueryService",
     "SizeBalancedPlacement",
+    "StickyPicker",
+    "ShardTopology",
+    "make_picker",
     "make_placement",
 ]

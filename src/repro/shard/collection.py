@@ -1,166 +1,145 @@
-"""Horizontally partitioned document storage: shards and id translation.
+"""Horizontally partitioned document storage with a dynamic topology.
 
-A :class:`ShardedCollection` splits a document forest across N
-:class:`Shard` objects.  Each shard is a fully independent vertical
-slice of the stack — its own
-:class:`~repro.xmltree.document.XmlDatabase`,
-:class:`~repro.storage.stats.StatsCollector`,
-:class:`~repro.planner.evaluator.TwigQueryEngine` (with its own index
-family) and :class:`~repro.service.QueryService` (with its own caches
-and generation fingerprint).  That independence is what buys the
-serving tier its isolation properties: adding a document touches one
-shard's indexes and invalidates one shard's result cache, while the
-other shards keep serving cached answers.
+A :class:`ShardedCollection` splits a document forest across N shards.
+Each shard is a fully independent vertical slice of the stack — see
+:class:`~repro.shard.replica.Shard` — or, with ``replicas > 1``, a
+:class:`~repro.shard.replica.ReplicatedShard` holding N identical
+engine instances for read scale-out.  That independence is what buys
+the serving tier its isolation properties: adding a document touches
+one shard's indexes and invalidates one shard's result cache, while
+the other shards keep serving cached answers.
 
-Because every shard numbers nodes in a private id space starting at 1,
-the collection records a :class:`DocumentPlacement` per add — which
-shard took the document, the shard-local id interval it occupies, and
-the *global* id interval it would occupy in a single database that
-received the same documents in the same order.  Translating shard-local
-answers through these spans makes the sharded tier answer-identical to
-a single-engine database (the differential tests pin this), and lets
-queries be scoped to named documents with shard pruning.
+Where documents live is not part of the collection any more: routing
+is delegated to a :class:`~repro.shard.topology.ShardTopology`, an
+explicit versioned routing table of
+:class:`~repro.shard.topology.DocumentPlacement` records.  Because
+every shard numbers nodes in a private id space starting at 1, each
+placement records which shard took the document, the shard-local id
+interval it occupies, and the *global* id interval it would occupy in
+a single database that received the same documents in the same order.
+Translating shard-local answers through these spans makes the sharded
+tier answer-identical to a single-engine database (the differential
+tests pin this), and lets queries be scoped to named documents with
+shard pruning.
+
+Making the topology explicit is what enables **online rebalancing**:
+:meth:`ShardedCollection.move_document` detaches a document from its
+source shard and re-adds it on a target shard — both halves through
+the shards' incremental index maintenance
+(:meth:`~repro.planner.evaluator.TwigQueryEngine.maintain_indexes`) —
+while :meth:`~repro.shard.topology.ShardTopology.record_move` swaps
+the routing entry in one atomic critical section.  The document keeps
+its global id interval, so answers stay identical to a single engine
+before, during and after the move; only the two shards touched bump
+their generations and drop their cached results.
+:meth:`ShardedCollection.rebalance` plans and applies a batch of such
+moves under a placement policy, undoing the skew a sticky placement
+has accumulated.
 
 Removal routes to the owning shard
 (:meth:`ShardedCollection.remove_document`): the shard's service
 deletes the document from its database and indexes incrementally, and
-the collection retires the placement from the live maps while keeping
-its span in the translation table — neither global nor shard-local ids
-are ever reused, so in-flight answers computed against the pre-removal
-shard snapshot still translate (the consistent-cut contract), and the
-post-removal id space equals a single engine's after the same removal.
-See ``docs/ARCHITECTURE.md`` ("The shard tier").
+the topology retires the placement — out of the live maps but still
+translatable (off the hot path), so in-flight answers computed against
+the pre-removal shard snapshot still map to global ids (the
+consistent-cut contract).  :meth:`ShardedCollection.compact` prunes
+those retired spans once readers have drained.  See
+``docs/ARCHITECTURE.md`` ("The shard tier" and "Shard topology,
+rebalancing & replication").
 """
 
 from __future__ import annotations
 
-import bisect
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from ..errors import DocumentError
-from ..planner.evaluator import TwigQueryEngine
-from ..service.service import QueryService
-from ..storage.stats import StatsCollector
-from ..xmltree.document import Document, VIRTUAL_ROOT_ID, XmlDatabase
+from ..storage.stats import maintenance_cost, sum_snapshots
+from ..xmltree.document import Document
 from .placement import PlacementPolicy, make_placement
+from .replica import ReadPicker, ReplicatedShard, Shard
+from .topology import DocumentPlacement, ShardTopology
+
+__all__ = [
+    "DocumentPlacement",
+    "RebalanceMove",
+    "RebalanceReport",
+    "Shard",
+    "ShardedCollection",
+]
 
 
 @dataclass(frozen=True)
-class DocumentPlacement:
-    """Where one document lives and which id intervals it owns.
+class RebalanceMove:
+    """One planned document move: which placement goes to which shard."""
 
-    ``local_*`` bounds are in the owning shard's id space, ``global_*``
-    bounds in the equivalent single-database id space; both intervals
-    are half-open and have equal length, so translation is the linear
-    shift ``global_start + (local_id - local_start)``.
-    """
-
-    name: str
-    ordinal: int
-    shard_index: int
-    local_start: int
-    local_end: int
-    global_start: int
-    global_end: int
-
-    @property
-    def node_count(self) -> int:
-        """Number of node ids (structural and value) the document owns."""
-        return self.local_end - self.local_start
+    placement: DocumentPlacement
+    target_shard: int
 
 
-class Shard:
-    """One partition: a private database, engine, stats and service."""
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one :meth:`ShardedCollection.rebalance` call did and cost."""
 
-    def __init__(
-        self,
-        index: int,
-        plan_cache_size: int = 256,
-        result_cache_size: int = 1024,
-        result_cache_ttl: Optional[float] = None,
-    ) -> None:
-        self.index = index
-        self.db = XmlDatabase()
-        self.stats = StatsCollector()
-        self.engine = TwigQueryEngine(self.db, stats=self.stats)
-        self.service = QueryService(
-            self.engine,
-            plan_cache_size=plan_cache_size,
-            result_cache_size=result_cache_size,
-            result_cache_ttl=result_cache_ttl,
-        )
-        #: Serializes adds *to this shard* (watermark read + engine add
-        #: + span record must be atomic per shard), without making other
-        #: shards' reads or writes wait.
-        self.add_lock = threading.RLock()
-
-    @property
-    def watermark(self) -> int:
-        """The shard database's next unassigned node id."""
-        return self.db.revision[1]
-
-    @property
-    def document_count(self) -> int:
-        return len(self.db.documents)
-
-    def describe(self) -> dict[str, object]:
-        """Shard-level size and cache counters."""
-        return {
-            "documents": self.document_count,
-            "node_watermark": self.watermark,
-            "indexes": sorted(self.engine.indexes),
-            "service": self.service.describe(),
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Shard(index={self.index}, documents={self.document_count})"
+    policy: str
+    planned: int
+    documents_moved: int
+    nodes_moved: int
+    spans_pruned: int
+    #: Write-side cost of the whole rebalance in the shared maintenance
+    #: currency (:func:`~repro.storage.stats.maintenance_cost`): the
+    #: incremental deletes on every source shard plus the incremental
+    #: inserts on every target shard.
+    maintenance_cost: int
 
 
 class ShardedCollection:
-    """N shards, a placement policy, and the local/global id mapping."""
+    """N shards, a placement policy, and a dynamic routing topology."""
 
     def __init__(
         self,
         num_shards: int = 4,
         placement: Union[str, PlacementPolicy] = "hash",
+        replicas: int = 1,
+        read_picker: Union[str, ReadPicker] = "round_robin",
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard, got {num_shards}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
         self.placement = make_placement(placement)
-        self.shards = [
-            Shard(
-                i,
-                plan_cache_size=plan_cache_size,
-                result_cache_size=result_cache_size,
-                result_cache_ttl=result_cache_ttl,
-            )
-            for i in range(num_shards)
-        ]
-        #: Guards only the collection's *bookkeeping* — ordinal and
-        #: global-id allocation, span lists, name map.  It is never held
-        #: across a shard's engine add, so a slow write to one shard
+        cache_options = dict(
+            plan_cache_size=plan_cache_size,
+            result_cache_size=result_cache_size,
+            result_cache_ttl=result_cache_ttl,
+        )
+        if replicas == 1:
+            self.shards: list[Union[Shard, ReplicatedShard]] = [
+                Shard(i, **cache_options) for i in range(num_shards)
+            ]
+        else:
+            self.shards = [
+                ReplicatedShard(
+                    i, replicas=replicas, read_picker=read_picker, **cache_options
+                )
+                for i in range(num_shards)
+            ]
+        #: The routing table: placements, id translation, epochs.  Its
+        #: lock guards only routing bookkeeping and is never held
+        #: across a shard's engine work, so a slow write to one shard
         #: cannot stall the gather (id translation) phase of queries on
         #: the other shards.
-        self._lock = threading.RLock()
-        self._ordinal = 0
+        self.topology = ShardTopology(num_shards)
         #: Replacements performed through :meth:`replace_document`; the
         #: per-shard services see a replace as a remove + an add, so
         #: this collection-level counter is the one place the operation
         #: is counted as itself.
         self.documents_replaced = 0
-        self._placements: list[DocumentPlacement] = []
-        self._by_name: dict[str, list[DocumentPlacement]] = {}
-        #: Per shard: placements sorted by local_start (adds only ever
-        #: append growing intervals, serialized per shard).
-        self._shard_spans: list[list[DocumentPlacement]] = [
-            [] for _ in range(num_shards)
-        ]
-        self._global_next = 1
+        self._replace_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Loading
@@ -170,28 +149,31 @@ class ShardedCollection:
         return len(self.shards)
 
     @property
+    def replica_count(self) -> int:
+        """Replicas per shard (1 for plain shards)."""
+        return self.shards[0].replica_count
+
+    @property
     def document_count(self) -> int:
-        return len(self._placements)
+        return self.topology.document_count
 
     def add_document(self, document: Document) -> DocumentPlacement:
-        """Route one document to its shard and record its id spans.
+        """Route one document to its shard and record its routing entry.
 
         The placement policy picks the shard; the shard's service adds
         the document under the shard's own locks (maintaining that
         shard's built indexes incrementally and invalidating only that
-        shard's cached results).  The collection lock is held only for
+        shard's cached results).  The topology lock is held only for
         the bookkeeping on either side of the add — never across the
         engine work — so writes to one shard do not stall queries (or
         writes) on the others.  Returns the recorded
         :class:`DocumentPlacement`.
         """
-        with self._lock:
-            ordinal = self._ordinal
-            self._ordinal += 1
-            # Watermarks are read without the shard add locks: a
-            # concurrent add can skew a weight, which costs a policy a
-            # slightly stale balance decision, never correctness.
-            weights = [shard.watermark for shard in self.shards]
+        ordinal = self.topology.next_ordinal()
+        # Watermarks are read without the shard add locks: a concurrent
+        # add can skew a weight, which costs a policy a slightly stale
+        # balance decision, never correctness.
+        weights = [shard.watermark for shard in self.shards]
         shard_index = self.placement.choose(document, ordinal, weights)
         if not 0 <= shard_index < self.num_shards:
             raise DocumentError(
@@ -210,27 +192,16 @@ class ShardedCollection:
             # maps nothing and is harmless.
             local_start = shard.watermark
             count = document.count_nodes()
-            with self._lock:
-                placement = DocumentPlacement(
-                    name=document.name,
-                    ordinal=ordinal,
-                    shard_index=shard_index,
-                    local_start=local_start,
-                    local_end=local_start + count,
-                    global_start=self._global_next,
-                    global_end=self._global_next + count,
-                )
-                self._global_next += count
-                self._placements.append(placement)
-                self._by_name.setdefault(placement.name, []).append(placement)
-                self._shard_spans[shard_index].append(placement)
+            placement = self.topology.reserve(
+                document.name, ordinal, shard_index, local_start, count
+            )
             # No rollback on failure: once the engine add starts, the
             # shard database may already hold the document's nodes, and
             # nothing in this codebase is transactional (a failed
             # single-node add leaves its engine just as mutated).
             # Keeping the span means any nodes that did land stay
             # translatable; a span whose data never landed maps nothing.
-            shard.service.add_document(document)
+            shard.add_document(document)
             if shard.watermark != placement.local_end:
                 raise DocumentError(
                     f"document {document.name!r} numbered "
@@ -252,33 +223,20 @@ class ShardedCollection:
         The owning shard's service removes the document from its
         database and built indexes (incremental deletion where
         supported) and invalidates that shard's cached results only.
-        The placement is retired from the live maps (``placements()``,
-        ``placements_for``, ``document_count``) but its span stays in
-        the shard's translation table: local and global ids are never
-        reused, so a concurrently scattered query that executed against
-        the pre-removal shard snapshot can still translate its answer —
-        the same consistent-cut contract adds follow, from the other
-        direction.  Returns the retired placement.
+        The topology retires the placement: out of the live maps
+        (``placements()``, ``placements_for``, ``document_count``) but
+        still translatable off the hot path — local and global ids are
+        never reused, so a concurrently scattered query that executed
+        against the pre-removal shard snapshot can still translate its
+        answer (the same consistent-cut contract adds follow, from the
+        other direction) until :meth:`compact` prunes the span.
+        Returns the retired placement.
         """
-        with self._lock:
-            placements = self._by_name.get(name, [])
-            if not placements:
-                raise DocumentError(f"no document named {name!r}")
-            if len(placements) > 1:
-                raise DocumentError(
-                    f"document name {name!r} is ambiguous "
-                    f"({len(placements)} placements)"
-                )
-            placement = placements[0]
+        placement = self.topology.resolve_unique(name)
         shard = self.shards[placement.shard_index]
         with shard.add_lock:
-            shard.service.remove_document(name)
-            with self._lock:
-                self._placements.remove(placement)
-                remaining = self._by_name[name]
-                remaining.remove(placement)
-                if not remaining:
-                    del self._by_name[name]
+            shard.remove_document(name)
+            self.topology.retire(placement)
         return placement
 
     def replace_document(self, name: str, replacement: Document) -> DocumentPlacement:
@@ -302,51 +260,209 @@ class ShardedCollection:
         """
         self.remove_document(name)
         placement = self.add_document(replacement)
-        with self._lock:
+        with self._replace_lock:
             self.documents_replaced += 1
         return placement
+
+    # ------------------------------------------------------------------
+    # Online rebalancing: document movement between shards
+    # ------------------------------------------------------------------
+    def move_document(
+        self, ref: Union[DocumentPlacement, str], target_shard: int
+    ) -> DocumentPlacement:
+        """Move one live document to ``target_shard``, online.
+
+        The move is a remove from the source shard plus an add on the
+        target shard, both through the shards' services and therefore
+        through the same incremental index-maintenance family
+        (:meth:`~repro.planner.evaluator.TwigQueryEngine.maintain_indexes`)
+        every other mutation uses: the source's indexes forget the
+        document's rows, the target's indexes absorb them, and each
+        side's write work lands in its own collector in the shared
+        maintenance currency.  Only those two shards bump their service
+        generations — the other shards' caches keep serving.
+
+        The routing entry is swapped atomically
+        (:meth:`~repro.shard.topology.ShardTopology.record_move`): the
+        document keeps its **global** id interval and gains a fresh
+        local interval at the target's watermark, so merged answers are
+        identical to a single engine's — a move is invisible in the
+        global id space.  Both shards' add locks are held (in shard
+        order, so concurrent moves cannot deadlock) across the whole
+        move.  A scatter racing the move may observe the document on
+        *neither* shard (source leg after the removal, target leg
+        before the add — the same documented gap a cross-shard
+        :meth:`replace_document` has) or on *both* (source leg before
+        the removal, target leg after the add); in the latter case both
+        observations translate to the same global interval and the
+        gather deduplicates, so an answer never double-counts a node.
+        Returns the new placement; a move to the owning shard is a
+        no-op.
+        """
+        if isinstance(ref, DocumentPlacement):
+            placement = ref
+            if not self.topology.is_live(placement):
+                raise DocumentError(
+                    f"placement of {placement.name!r} (ordinal "
+                    f"{placement.ordinal}) is not live"
+                )
+        else:
+            placement = self.topology.resolve_unique(ref)
+        if not 0 <= target_shard < self.num_shards:
+            raise DocumentError(
+                f"shard index {target_shard} outside [0, {self.num_shards})"
+            )
+        if target_shard == placement.shard_index:
+            return placement
+        source = self.shards[placement.shard_index]
+        target = self.shards[target_shard]
+        # Deadlock-free two-shard locking: always in ascending shard
+        # order, whatever direction the move goes.
+        first, second = sorted((source, target), key=lambda shard: shard.index)
+        with first.add_lock, second.add_lock:
+            # Re-check under the locks: a removal (or another move) may
+            # have retired the placement between resolution and here.
+            if not self.topology.is_live(placement):
+                raise DocumentError(
+                    f"placement of {placement.name!r} (ordinal "
+                    f"{placement.ordinal}) is not live"
+                )
+            document = source.document_at(placement.local_start)
+            local_start = target.watermark
+            moved = self.topology.record_move(placement, target_shard, local_start)
+            detached = source.remove_document(document)
+            target.add_document(detached)
+            if target.watermark != moved.local_end:
+                raise DocumentError(
+                    f"document {document.name!r} numbered "
+                    f"{target.watermark - local_start} ids on shard "
+                    f"{target_shard} but its span reserved {moved.node_count}"
+                )
+            target.note_move()
+        return moved
+
+    def plan_rebalance(
+        self, policy: Union[str, PlacementPolicy, None] = None
+    ) -> list[RebalanceMove]:
+        """The moves that re-place every live document under ``policy``.
+
+        Replays the live documents in arrival order through the policy
+        against simulated (initially empty) node-count weights — the
+        assignment the policy would have produced had it placed the
+        whole corpus itself — and returns a move for every document
+        whose current shard differs.  Deterministic for deterministic
+        policies: :class:`~repro.shard.placement.SizeBalancedPlacement`
+        breaks weight ties by lowest shard index, so the same corpus
+        always yields the same plan.  Defaults to ``size_balanced``
+        (the policy that undoes skew); planning mutates nothing.
+        """
+        chosen = make_placement(policy or "size_balanced")
+        weights = [0] * self.num_shards
+        moves: list[RebalanceMove] = []
+        for placement in self.topology.placements():
+            document = self.shards[placement.shard_index].document_at(
+                placement.local_start
+            )
+            target = chosen.choose(document, placement.ordinal, weights)
+            if not 0 <= target < self.num_shards:
+                raise DocumentError(
+                    f"placement policy {chosen.name!r} returned shard "
+                    f"{target} outside [0, {self.num_shards})"
+                )
+            weights[target] += placement.node_count
+            if target != placement.shard_index:
+                moves.append(RebalanceMove(placement, target))
+        return moves
+
+    def rebalance(
+        self,
+        policy: Union[str, PlacementPolicy, None] = None,
+        compact: bool = False,
+    ) -> RebalanceReport:
+        """Plan and apply a rebalance; optionally compact retired spans.
+
+        Every planned move runs through :meth:`move_document` — online,
+        two shards at a time, answers identical throughout.  With
+        ``compact=True`` every retired span — those these moves
+        retired *plus* any left by earlier removal/move churn — is
+        pruned afterwards (do this when no pre-rebalance answers are
+        still in flight); the report's ``spans_pruned`` counts that
+        whole compaction.  Returns a :class:`RebalanceReport` pricing
+        the whole operation in the shared maintenance currency.
+        """
+        plan = self.plan_rebalance(policy)
+        before = [shard.stats_snapshot() for shard in self.shards]
+        moved = 0
+        nodes_moved = 0
+        for move in plan:
+            # A removal racing the rebalance may retire a planned
+            # placement at any point up to the move's lock acquisition;
+            # skip dead placements rather than failing the whole batch.
+            try:
+                applied = self.move_document(move.placement, move.target_shard)
+            except DocumentError:
+                if self.topology.is_live(move.placement):
+                    raise
+                continue
+            moved += 1
+            nodes_moved += applied.node_count
+        pruned = self.compact() if compact else 0
+        spent = sum_snapshots(
+            *(
+                shard.stats_diff(snapshot)
+                for shard, snapshot in zip(self.shards, before)
+            )
+        )
+        return RebalanceReport(
+            policy=make_placement(policy or "size_balanced").name,
+            planned=len(plan),
+            documents_moved=moved,
+            nodes_moved=nodes_moved,
+            spans_pruned=pruned,
+            maintenance_cost=maintenance_cost(spent),
+        )
+
+    def compact(self) -> int:
+        """Prune retired placement spans from the routing table.
+
+        Delegates to :meth:`~repro.shard.topology.ShardTopology.compact`;
+        call between query waves — answers computed against
+        pre-retirement shard snapshots stop translating.  Returns the
+        number of spans pruned.
+        """
+        return self.topology.compact()
 
     # ------------------------------------------------------------------
     # Index management (fanned to every shard)
     # ------------------------------------------------------------------
     def build_index(self, name: str, **options) -> None:
-        """Build one index of the family on every shard."""
+        """Build one index of the family on every shard (and replica)."""
         for shard in self.shards:
-            shard.service.build_index(name, **options)
+            shard.build_index(name, **options)
 
     def ensure_indexes_for(self, strategy_name: str) -> None:
         """Build whatever indexes a strategy needs, on every shard."""
         for shard in self.shards:
-            shard.engine.ensure_indexes_for(strategy_name)
+            shard.ensure_indexes_for(strategy_name)
 
     def index_sizes_mb(self) -> dict[str, float]:
-        """Total size per index name, summed across shards."""
+        """Total size per index name, summed across shards.
+
+        Replicated shards report one replica's copy (the physical total
+        is that times the replica count).
+        """
         totals: dict[str, float] = {}
         for shard in self.shards:
-            for name, size in shard.engine.index_sizes_mb().items():
+            for name, size in shard.index_sizes_mb().items():
                 totals[name] = totals.get(name, 0.0) + size
         return totals
 
     # ------------------------------------------------------------------
-    # Id translation and document lookup
+    # Id translation and document lookup (delegated to the topology)
     # ------------------------------------------------------------------
     def to_global(self, shard_index: int, local_id: int) -> int:
         """Translate one shard-local node id into the global id space."""
-        if local_id == VIRTUAL_ROOT_ID:
-            # Every shard's virtual root is the same global virtual root.
-            return VIRTUAL_ROOT_ID
-        with self._lock:
-            spans = self._shard_spans[shard_index]
-            position = (
-                bisect.bisect_right(spans, local_id, key=lambda s: s.local_start) - 1
-            )
-            if position >= 0:
-                span = spans[position]
-                if span.local_start <= local_id < span.local_end:
-                    return span.global_start + (local_id - span.local_start)
-        raise DocumentError(
-            f"shard {shard_index} has no document covering local id {local_id}"
-        )
+        return self.topology.to_global(shard_index, local_id)
 
     def translate_sorted(
         self,
@@ -354,91 +470,41 @@ class ShardedCollection:
         local_ids: Sequence[int],
         scope: Optional[Sequence[DocumentPlacement]] = None,
     ) -> list[int]:
-        """Translate ascending shard-local ids in one pass (one lock).
-
-        Query answers come back in ascending local id order, so a single
-        merge-style walk over the shard's (also ascending) document
-        spans translates the whole answer without a per-id bisect.
-        ``scope`` restricts the output to the given documents' intervals
-        — ids outside them (other documents co-resident on the shard)
-        are dropped, which is the filtering half of shard pruning.
-        """
-        allowed: Optional[set[int]] = None
-        if scope is not None:
-            allowed = {placement.ordinal for placement in scope}
-        with self._lock:
-            # Snapshot the (append-only) span list and translate outside
-            # the lock: the walk is O(answer size) and must not become a
-            # serial section across every query's gather phase.
-            spans = list(self._shard_spans[shard_index])
-        translated: list[int] = []
-        position = 0
-        for local_id in local_ids:
-            if local_id == VIRTUAL_ROOT_ID:
-                translated.append(VIRTUAL_ROOT_ID)
-                continue
-            while position < len(spans) and local_id >= spans[position].local_end:
-                position += 1
-            if position >= len(spans) or local_id < spans[position].local_start:
-                raise DocumentError(
-                    f"shard {shard_index} has no document covering "
-                    f"local id {local_id} (ids must be ascending)"
-                )
-            span = spans[position]
-            if allowed is not None and span.ordinal not in allowed:
-                continue
-            translated.append(span.global_start + (local_id - span.local_start))
-        return translated
+        """Translate ascending shard-local ids in one pass (one lock)."""
+        return self.topology.translate_sorted(shard_index, local_ids, scope=scope)
 
     def placements_for(self, name: str) -> list[DocumentPlacement]:
-        """Every placement recorded under one document name."""
-        with self._lock:
-            try:
-                return list(self._by_name[name])
-            except KeyError:
-                raise DocumentError(f"no document named {name!r}") from None
+        """Every live placement recorded under one document name."""
+        return self.topology.placements_for(name)
 
     def placements(self) -> list[DocumentPlacement]:
-        """All placements in arrival order."""
-        with self._lock:
-            return list(self._placements)
+        """All live placements in arrival order."""
+        return self.topology.placements()
 
     def shards_for_documents(
         self, names: Sequence[str]
     ) -> dict[int, list[DocumentPlacement]]:
-        """Shard index -> the named documents it holds (pruning map).
-
-        Shards holding none of the named documents are absent — this is
-        the scatter set for a document-scoped query.
-        """
-        targets: dict[int, list[DocumentPlacement]] = {}
-        for name in names:
-            for placement in self.placements_for(name):
-                targets.setdefault(placement.shard_index, []).append(placement)
-        return targets
+        """Shard index -> the named documents it holds (pruning map)."""
+        return self.topology.shards_for_documents(names)
 
     def global_spans_for(self, names: Sequence[str]) -> list[tuple[int, int]]:
         """The named documents' global id intervals (scoping filter)."""
-        return [
-            (placement.global_start, placement.global_end)
-            for name in names
-            for placement in self.placements_for(name)
-        ]
+        return self.topology.global_spans_for(names)
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
         """Collection topology and per-shard summaries."""
-        with self._lock:
-            # Only the bookkeeping snapshot runs under the collection
-            # lock; shard.describe() takes each shard's own service lock
-            # and may wait behind a write there, which must not stall
-            # the other shards' gather phases through this lock.
-            report = {
-                "num_shards": self.num_shards,
-                "placement": self.placement.name,
-                "documents": self.document_count,
-                "global_watermark": self._global_next,
-            }
+        report = {
+            "num_shards": self.num_shards,
+            "placement": self.placement.name,
+            "replicas": self.replica_count,
+            "documents": self.document_count,
+            "global_watermark": self.topology.global_watermark,
+            "topology": self.topology.describe(),
+        }
+        # shard.describe() takes each shard's own service lock and may
+        # wait behind a write there; no collection-level lock is held
+        # around it, so it cannot stall other shards' gather phases.
         report["shards"] = [shard.describe() for shard in self.shards]
         return report
 
@@ -446,5 +512,6 @@ class ShardedCollection:
         return (
             f"ShardedCollection(shards={self.num_shards}, "
             f"placement={self.placement.name!r}, "
+            f"replicas={self.replica_count}, "
             f"documents={self.document_count})"
         )

@@ -3,9 +3,12 @@
 A :class:`ShardedCollection` asks its policy where each incoming
 document should live.  Policies see the document, its arrival ordinal
 and the current per-shard node-count weights, and return a shard index;
-they never move documents (placement is sticky — node ids inside a
-shard are assigned at add time and query answers are translated through
-the recorded spans).
+they never move documents themselves — but the same ``choose`` replay
+drives :meth:`~repro.shard.collection.ShardedCollection.plan_rebalance`,
+which computes the moves that re-place an already loaded corpus under a
+policy (node ids inside a shard are assigned at add time and query
+answers are translated through the recorded spans, so a move just gives
+a document a fresh local interval on its new shard).
 
 Three policies cover the usual trade-offs:
 
@@ -82,7 +85,13 @@ class RoundRobinPlacement(PlacementPolicy):
 
 
 class SizeBalancedPlacement(PlacementPolicy):
-    """Least-loaded shard by node count (lowest index breaks ties)."""
+    """Least-loaded shard by node count (lowest index breaks ties).
+
+    The tie-break is part of the contract, not an accident: equal
+    weights always resolve to the lowest shard index, so a rebalance
+    plan replayed over the same corpus is identical run to run
+    (``tests/test_shard_topology.py`` pins this determinism).
+    """
 
     name = "size_balanced"
 

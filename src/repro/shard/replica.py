@@ -1,0 +1,509 @@
+"""Shards, replica sets and read pickers: the engine-holding tier.
+
+A :class:`Shard` is one partition of a
+:class:`~repro.shard.collection.ShardedCollection` — a fully
+independent vertical slice of the stack with its own
+:class:`~repro.xmltree.document.XmlDatabase`,
+:class:`~repro.storage.stats.StatsCollector`,
+:class:`~repro.planner.evaluator.TwigQueryEngine` (with its own index
+family) and :class:`~repro.service.QueryService` (with its own caches,
+lock and generation fingerprint).
+
+A :class:`ReplicatedShard` is N identical such engine instances behind
+the same shard surface, for read scale-out past one engine per shard:
+
+* **writes go through to every replica** — ``add_document`` adds the
+  original to the primary and a :meth:`~repro.xmltree.document.Document.clone`
+  to each secondary, ``remove_document`` removes the same id span from
+  all of them, ``build_index`` builds everywhere.  Replicas receive the
+  same documents in the same order, so they assign identical node ids
+  and identical answers — which is what lets any replica serve any
+  read;
+* **reads fan out to one replica** — a pluggable
+  :class:`ReadPicker` (:data:`READ_PICKERS`: round-robin,
+  least-loaded, sticky) chooses which replica executes each query, and
+  per-replica read counters make the fan-out observable;
+* **costs merge through the one aggregation path** —
+  :meth:`ReplicatedShard.stats_snapshot` folds every replica's
+  collector together via :meth:`~repro.storage.stats.StatsCollector.merge`,
+  so the N-fold write amplification of replication is priced honestly
+  in the same currency as everything else.
+
+Both classes expose the same surface (``execute`` / ``add_document`` /
+``remove_document`` / ``build_index`` / ``stats_snapshot`` / ...), so
+the collection and the scatter-gather service route through a shard
+without caring whether one engine or a replica set answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Optional, Union
+
+from ..errors import DocumentError
+from ..planner.evaluator import QueryResult, TwigQueryEngine
+from ..query.match import NaiveMatcher
+from ..query.twig import TwigPattern
+from ..service.base import AUTO_STRATEGY
+from ..service.service import QueryService
+from ..storage.stats import StatsCollector
+from ..xmltree.document import Document, XmlDatabase
+
+
+class Shard:
+    """One partition: a private database, engine, stats and service."""
+
+    def __init__(
+        self,
+        index: int,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        result_cache_ttl: Optional[float] = None,
+    ) -> None:
+        self.index = index
+        self.db = XmlDatabase()
+        self.stats = StatsCollector()
+        self.engine = TwigQueryEngine(self.db, stats=self.stats)
+        self.service = QueryService(
+            self.engine,
+            plan_cache_size=plan_cache_size,
+            result_cache_size=result_cache_size,
+            result_cache_ttl=result_cache_ttl,
+        )
+        #: Serializes writes *to this shard* (watermark read + engine add
+        #: + span record must be atomic per shard), without making other
+        #: shards' reads or writes wait.
+        self.add_lock = threading.RLock()
+
+    @property
+    def watermark(self) -> int:
+        """The shard database's next unassigned node id."""
+        return self.db.revision[1]
+
+    @property
+    def document_count(self) -> int:
+        return len(self.db.documents)
+
+    @property
+    def replica_count(self) -> int:
+        """A plain shard is its own single replica."""
+        return 1
+
+    # ------------------------------------------------------------------
+    # The shard surface the collection and the scatter service route to
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Union[str, TwigPattern],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> QueryResult:
+        """One scattered query, through this shard's service."""
+        return self.service.execute(
+            query,
+            strategy=strategy,
+            use_result_cache=use_result_cache,
+            **strategy_options,
+        )
+
+    def add_document(self, document: Document) -> Document:
+        """Add one routed document through the shard's service."""
+        return self.service.add_document(document)
+
+    def remove_document(self, ref: Union[Document, str]) -> Document:
+        """Remove one document through the shard's service."""
+        return self.service.remove_document(ref)
+
+    def build_index(self, name: str, **options):
+        return self.service.build_index(name, **options)
+
+    def ensure_indexes_for(self, strategy_name: str) -> None:
+        self.engine.ensure_indexes_for(strategy_name)
+
+    def invalidate(self, rebuilt: bool = True) -> None:
+        self.service.invalidate(rebuilt=rebuilt)
+
+    def index_sizes_mb(self) -> dict[str, float]:
+        return self.engine.index_sizes_mb()
+
+    def oracle_ids(self, twig: TwigPattern) -> list[int]:
+        """Index-free shard-local ground truth (differential testing)."""
+        return NaiveMatcher(self.db).match_ids(twig)
+
+    def document_at(self, local_start: int) -> Document:
+        """The live document whose id span begins at ``local_start``.
+
+        Spans are recorded at add time and ids are never reused, so the
+        start id identifies a document unambiguously even when names
+        collide — this is how a move resolves the object to detach.
+        """
+        for document in self.db.documents:
+            if document.first_id == local_start:
+                return document
+        raise DocumentError(
+            f"shard {self.index} has no document starting at id {local_start}"
+        )
+
+    def note_move(self) -> None:
+        """Charge one completed document move to this shard's collector."""
+        self.stats.documents_moved += 1
+
+    def stats_snapshot(self) -> dict[str, int]:
+        return self.stats.snapshot()
+
+    def stats_diff(self, before: dict[str, int]) -> dict[str, int]:
+        return self.stats.diff(before)
+
+    def service_report(self) -> dict[str, object]:
+        return self.service.describe()
+
+    def describe(self) -> dict[str, object]:
+        """Shard-level size and cache counters."""
+        return {
+            "documents": self.document_count,
+            "node_watermark": self.watermark,
+            "indexes": sorted(self.engine.indexes),
+            "replicas": self.replica_count,
+            "service": self.service_report(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shard(index={self.index}, documents={self.document_count})"
+
+
+# ----------------------------------------------------------------------
+# Read pickers
+# ----------------------------------------------------------------------
+class ReadPicker:
+    """Strategy interface: choose which replica serves one read.
+
+    ``pick`` sees the per-replica in-flight read counts and a stable
+    key for the query (its normalized text) and returns a replica
+    index.  Pickers may keep state (the round-robin cursor); the
+    replicated shard serializes calls, so they need no locking of
+    their own.
+    """
+
+    #: Registry name (also what ``describe()`` reports).
+    name = "abstract"
+
+    def pick(self, in_flight: list[int], query_key: str) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPicker(ReadPicker):
+    """Cycle through the replicas — maximally even read *counts*."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(self, in_flight: list[int], query_key: str) -> int:
+        choice = self._cursor % len(in_flight)
+        self._cursor += 1
+        return choice
+
+
+class LeastLoadedPicker(ReadPicker):
+    """The replica with the fewest in-flight reads (lowest index ties)."""
+
+    name = "least_loaded"
+
+    def pick(self, in_flight: list[int], query_key: str) -> int:
+        return min(range(len(in_flight)), key=lambda i: (in_flight[i], i))
+
+
+class StickyPicker(ReadPicker):
+    """Affinity routing: the same query always lands on the same replica.
+
+    Hashes the normalized query text (CRC32, like
+    :class:`~repro.shard.placement.HashPlacement`), which partitions the
+    distinct-query working set across the replicas — each replica's
+    result cache holds only its slice, so a working set that overflows
+    one replica's cache fits the replica set's aggregate capacity.
+    """
+
+    name = "sticky"
+
+    def pick(self, in_flight: list[int], query_key: str) -> int:
+        return zlib.crc32(query_key.encode("utf-8")) % len(in_flight)
+
+
+#: Registry of picker name -> picker class.
+READ_PICKERS: dict[str, type[ReadPicker]] = {
+    RoundRobinPicker.name: RoundRobinPicker,
+    LeastLoadedPicker.name: LeastLoadedPicker,
+    StickyPicker.name: StickyPicker,
+}
+
+
+def make_picker(picker: Union[str, ReadPicker]) -> ReadPicker:
+    """Resolve a picker name or pass an instance through."""
+    if isinstance(picker, ReadPicker):
+        return picker
+    try:
+        return READ_PICKERS[picker]()
+    except KeyError:
+        raise DocumentError(
+            f"unknown read picker {picker!r}; known: {sorted(READ_PICKERS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Replica sets
+# ----------------------------------------------------------------------
+class ReplicatedShard:
+    """N identical engine instances behind one shard surface.
+
+    Exposes the same surface as :class:`Shard`; ``db`` / ``engine`` /
+    ``stats`` / ``service`` refer to the primary replica (replica 0) so
+    code that introspects a shard keeps working — but reads should go
+    through :meth:`execute`, which is where the picker fans them out.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        replicas: int = 2,
+        read_picker: Union[str, ReadPicker] = "round_robin",
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        result_cache_ttl: Optional[float] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.index = index
+        self.picker = make_picker(read_picker)
+        self.replicas = [
+            Shard(
+                index,
+                plan_cache_size=plan_cache_size,
+                result_cache_size=result_cache_size,
+                result_cache_ttl=result_cache_ttl,
+            )
+            for _ in range(replicas)
+        ]
+        #: Writes hold this across the whole write-through so replicas
+        #: never diverge in id space; reads never take it.
+        self.add_lock = threading.RLock()
+        self._read_lock = threading.Lock()
+        self._in_flight = [0] * replicas
+        self.replica_reads = [0] * replicas
+
+    @property
+    def primary(self) -> Shard:
+        return self.replicas[0]
+
+    # Primary views, for introspection parity with a plain Shard.
+    @property
+    def db(self) -> XmlDatabase:
+        return self.primary.db
+
+    @property
+    def engine(self) -> TwigQueryEngine:
+        return self.primary.engine
+
+    @property
+    def stats(self) -> StatsCollector:
+        return self.primary.stats
+
+    @property
+    def service(self) -> QueryService:
+        return self.primary.service
+
+    @property
+    def watermark(self) -> int:
+        return self.primary.watermark
+
+    @property
+    def document_count(self) -> int:
+        return self.primary.document_count
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    # ------------------------------------------------------------------
+    # Reads: fan out to one replica
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Union[str, TwigPattern],
+        strategy: str = AUTO_STRATEGY,
+        use_result_cache: bool = True,
+        **strategy_options,
+    ) -> QueryResult:
+        """Route one read to the picker's replica.
+
+        The in-flight counters the least-loaded picker consults are
+        maintained around the replica call; every replica holds the
+        same documents with the same ids, so the answer is independent
+        of the choice.
+        """
+        query_key = query if isinstance(query, str) else query.to_xpath()
+        with self._read_lock:
+            choice = self.picker.pick(list(self._in_flight), query_key)
+            if not 0 <= choice < len(self.replicas):
+                raise DocumentError(
+                    f"read picker {self.picker.name!r} returned replica "
+                    f"{choice} outside [0, {len(self.replicas)})"
+                )
+            self._in_flight[choice] += 1
+            self.replica_reads[choice] += 1
+        try:
+            return self.replicas[choice].execute(
+                query,
+                strategy=strategy,
+                use_result_cache=use_result_cache,
+                **strategy_options,
+            )
+        finally:
+            with self._read_lock:
+                self._in_flight[choice] -= 1
+
+    def oracle_ids(self, twig: TwigPattern) -> list[int]:
+        return self.primary.oracle_ids(twig)
+
+    # ------------------------------------------------------------------
+    # Writes: through to every replica
+    # ------------------------------------------------------------------
+    def add_document(self, document: Document) -> Document:
+        """Write one document through to every replica.
+
+        The primary takes ``document`` itself; each secondary takes a
+        :meth:`~repro.xmltree.document.Document.clone` (trees cannot be
+        shared between databases).  Identical add order means identical
+        node ids on every replica — asserted here, because a divergent
+        replica would serve wrong answers silently.
+        """
+        with self.add_lock:
+            added = self.primary.add_document(document)
+            for replica in self.replicas[1:]:
+                replica.add_document(document.clone())
+            self._check_alignment()
+            return added
+
+    def remove_document(self, ref: Union[Document, str]) -> Document:
+        """Remove the same document (by its id span) from every replica."""
+        with self.add_lock:
+            primary_doc = self.primary.db.resolve_document(ref)
+            span_start = primary_doc.first_id
+            removed = self.primary.remove_document(primary_doc)
+            for replica in self.replicas[1:]:
+                replica.remove_document(replica.document_at(span_start))
+            self._check_alignment()
+            return removed
+
+    def build_index(self, name: str, **options):
+        with self.add_lock:
+            built = [
+                replica.build_index(name, **options) for replica in self.replicas
+            ]
+            return built[0]
+
+    def ensure_indexes_for(self, strategy_name: str) -> None:
+        with self.add_lock:
+            for replica in self.replicas:
+                replica.ensure_indexes_for(strategy_name)
+
+    def invalidate(self, rebuilt: bool = True) -> None:
+        for replica in self.replicas:
+            replica.invalidate(rebuilt=rebuilt)
+
+    def document_at(self, local_start: int) -> Document:
+        return self.primary.document_at(local_start)
+
+    def note_move(self) -> None:
+        """Charge one completed move once (to the primary's collector)."""
+        self.primary.note_move()
+
+    def _check_alignment(self) -> None:
+        watermarks = {replica.watermark for replica in self.replicas}
+        if len(watermarks) != 1:
+            raise DocumentError(
+                f"replicas of shard {self.index} diverged: "
+                f"watermarks {sorted(watermarks)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def index_sizes_mb(self) -> dict[str, float]:
+        """Primary's index sizes (every replica's copy is identical)."""
+        return self.primary.index_sizes_mb()
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """All replicas' counters folded through ``StatsCollector.merge``."""
+        return (
+            StatsCollector()
+            .merge(*(replica.stats for replica in self.replicas))
+            .snapshot()
+        )
+
+    def stats_diff(self, before: dict[str, int]) -> dict[str, int]:
+        now = self.stats_snapshot()
+        return {key: now.get(key, 0) - value for key, value in before.items()}
+
+    def service_report(self) -> dict[str, object]:
+        """Per-replica service reports summed into one shard report.
+
+        Counter values (and nested counter dicts) sum across replicas;
+        non-numeric leaves (TTL configuration, hit rates) are taken
+        from the primary.  The summed shape matches a plain shard's
+        report, so collection-level aggregation needs no replica case.
+        """
+        reports = [replica.service_report() for replica in self.replicas]
+        return _sum_reports(reports)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "documents": self.document_count,
+            "node_watermark": self.watermark,
+            "indexes": sorted(self.engine.indexes),
+            "replicas": self.replica_count,
+            "read_picker": self.picker.name,
+            "replica_reads": list(self.replica_reads),
+            "service": self.service_report(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicatedShard(index={self.index}, "
+            f"replicas={self.replica_count}, "
+            f"documents={self.document_count})"
+        )
+
+
+#: Report keys that are configuration or ratios, not additive counters:
+#: identical across replicas (or meaningless to sum), so the summed
+#: report carries the primary's value.
+_NON_ADDITIVE_KEYS = frozenset({"max_size", "ttl_seconds", "hit_rate"})
+
+
+def _sum_reports(reports: list) -> dict[str, object]:
+    """Key-wise recursive sum of homogeneous counter reports.
+
+    Ints and floats sum, nested dicts recurse (with key union, so
+    per-strategy count maps merge), configuration keys
+    (:data:`_NON_ADDITIVE_KEYS`) and non-numeric leaves come from the
+    first report — booleans count as non-numeric configuration here.
+    """
+    merged: dict[str, object] = {}
+    for key in {k for report in reports for k in report}:
+        values = [report[key] for report in reports if key in report]
+        first = values[0]
+        if key in _NON_ADDITIVE_KEYS:
+            merged[key] = first
+        elif isinstance(first, dict):
+            merged[key] = _sum_reports(values)
+        elif isinstance(first, (int, float)) and not isinstance(first, bool):
+            merged[key] = sum(values)
+        else:
+            merged[key] = first
+    return merged

@@ -13,15 +13,26 @@ cost-accounted :class:`~repro.planner.evaluator.QueryResult`:
   result caches, generation fingerprints and ``strategy="auto"``
   choices all apply per shard (a shard prices its plan against its own
   catalog statistics, and an ``add_document`` on one shard invalidates
-  only that shard's cached results);
+  only that shard's cached results); a replicated shard
+  (:class:`~repro.shard.replica.ReplicatedShard`) additionally fans the
+  read to one of its replicas through its read picker;
 * **prune** — a query scoped to named documents (``documents=[...]``)
   is sent only to the shards holding them, and its answer is filtered
   to those documents' id intervals;
 * **gather** — shard-local answer ids are translated into the global id
-  space through the collection's recorded document spans, merged in
-  ascending (document-order) sequence, and the per-shard cost counters
-  are summed through :func:`~repro.storage.stats.sum_snapshots` so the
+  space through the routing table
+  (:class:`~repro.shard.topology.ShardTopology`), merged in ascending
+  (document-order) sequence, and the per-shard cost counters are
+  summed through :func:`~repro.storage.stats.sum_snapshots` so the
   merged result prices exactly the logical work all shards charged.
+
+The scatter set and every id translation come from the collection's
+topology — the versioned routing table — so online rebalancing
+(:meth:`ShardedQueryService.rebalance` /
+:meth:`ShardedQueryService.move_document`) re-routes documents under
+running queries: a move swaps the routing entry atomically, keeps the
+document's global id interval, and invalidates only the two shards it
+touched.
 
 The merged answer is *identical* to what a single-engine database
 holding the same documents (in the same arrival order) would return —
@@ -49,14 +60,20 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence, Union
 
 from ..planner.evaluator import QueryResult
-from ..query.match import NaiveMatcher
 from ..query.parser import parse_xpath
 from ..query.twig import TwigPattern
 from ..storage.stats import sum_snapshots
 from ..xmltree.document import Document
 from ..service.base import AUTO_STRATEGY, ServingFacade
-from .collection import DocumentPlacement, Shard, ShardedCollection
+from .collection import (
+    DocumentPlacement,
+    RebalanceMove,
+    RebalanceReport,
+    Shard,
+    ShardedCollection,
+)
 from .placement import PlacementPolicy
+from .replica import ReadPicker
 
 
 class ShardedQueryService(ServingFacade):
@@ -67,6 +84,8 @@ class ShardedQueryService(ServingFacade):
         collection: Optional[ShardedCollection] = None,
         num_shards: int = 4,
         placement: Union[str, PlacementPolicy] = "hash",
+        replicas: int = 1,
+        read_picker: Union[str, ReadPicker] = "round_robin",
         max_workers: Optional[int] = None,
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
@@ -76,6 +95,8 @@ class ShardedQueryService(ServingFacade):
             collection = ShardedCollection(
                 num_shards=num_shards,
                 placement=placement,
+                replicas=replicas,
+                read_picker=read_picker,
                 plan_cache_size=plan_cache_size,
                 result_cache_size=result_cache_size,
                 result_cache_ttl=result_cache_ttl,
@@ -131,6 +152,46 @@ class ShardedQueryService(ServingFacade):
         """
         return self.collection.replace_document(name, replacement)
 
+    # ------------------------------------------------------------------
+    # Facade mirror: topology maintenance (online rebalancing)
+    # ------------------------------------------------------------------
+    def move_document(
+        self, ref: Union[DocumentPlacement, str], target_shard: int
+    ) -> DocumentPlacement:
+        """Move one live document to another shard, online.
+
+        Remove-from-source + add-to-target through the shards'
+        incremental index maintenance, with the routing entry swapped
+        atomically and the global id interval preserved — see
+        :meth:`ShardedCollection.move_document`.  Answers stay
+        identical to a single engine throughout.
+        """
+        return self.collection.move_document(ref, target_shard)
+
+    def plan_rebalance(
+        self, policy: Union[str, PlacementPolicy, None] = None
+    ) -> list[RebalanceMove]:
+        """The (deterministic) move plan ``rebalance`` would apply."""
+        return self.collection.plan_rebalance(policy)
+
+    def rebalance(
+        self,
+        policy: Union[str, PlacementPolicy, None] = None,
+        compact: bool = False,
+    ) -> RebalanceReport:
+        """Re-place the corpus under ``policy`` (default size-balanced).
+
+        Applies :meth:`plan_rebalance` move by move while queries keep
+        running; each move invalidates only the two shards it touches.
+        See :meth:`ShardedCollection.rebalance` for the report and the
+        ``compact`` trade-off.
+        """
+        return self.collection.rebalance(policy, compact=compact)
+
+    def compact(self) -> int:
+        """Prune retired placement spans (see :meth:`ShardedCollection.compact`)."""
+        return self.collection.compact()
+
     def build_index(self, name: str, **options) -> None:
         """Build one index of the family on every shard."""
         self.collection.build_index(name, **options)
@@ -140,9 +201,9 @@ class ShardedQueryService(ServingFacade):
         self.collection.ensure_indexes_for(strategy_name)
 
     def invalidate(self, rebuilt: bool = True) -> None:
-        """Flush every shard's service caches."""
+        """Flush every shard's service caches (every replica's, too)."""
         for shard in self.collection.shards:
-            shard.service.invalidate(rebuilt=rebuilt)
+            shard.invalidate(rebuilt=rebuilt)
 
     # ------------------------------------------------------------------
     # Execution: scatter, prune, gather
@@ -180,15 +241,19 @@ class ShardedQueryService(ServingFacade):
     ) -> list[tuple[Shard, Optional[list[DocumentPlacement]]]]:
         """The scatter set: (shard, scope placements or None) pairs.
 
-        ``None`` scope means the whole shard is in scope.  Shards with
-        no documents hold no nodes and cannot contribute matches, so
-        they are always pruned.
+        Both flavours consult the routing table: an unscoped query
+        scatters to the shards the topology routes live documents to
+        (shards holding none cannot contribute matches, so they are
+        always pruned), a scoped query only to the shards holding the
+        named documents.  ``None`` scope means the whole shard is in
+        scope.
         """
         if documents is None:
+            live_counts = self.collection.topology.live_counts()
             return [
                 (shard, None)
-                for shard in self.collection.shards
-                if shard.document_count
+                for shard, count in zip(self.collection.shards, live_counts)
+                if count
             ]
         by_shard = self.collection.shards_for_documents(documents)
         return [
@@ -204,9 +269,14 @@ class ShardedQueryService(ServingFacade):
         use_result_cache: bool,
         strategy_options: dict,
     ) -> list[QueryResult]:
-        """Run the query on every target shard, in parallel past one."""
+        """Run the query on every target shard, in parallel past one.
+
+        Routing through the shard surface (not ``shard.service``
+        directly) is what lets a replicated shard fan the read out to
+        one of its replicas.
+        """
         def run(shard: Shard) -> QueryResult:
-            return shard.service.execute(
+            return shard.execute(
                 xpath,
                 strategy=strategy,
                 use_result_cache=use_result_cache,
@@ -237,8 +307,13 @@ class ShardedQueryService(ServingFacade):
                 )
             )
         # Global ids are assigned in document-arrival order, so ascending
-        # id order is global document order — what a single engine returns.
-        merged_ids.sort()
+        # id order is global document order — what a single engine
+        # returns.  The set() dedup covers one race: a scatter crossing
+        # an in-flight move can observe the moving document on both its
+        # source and target shard, and both observations translate to
+        # the same global interval (quiesced scatters never produce
+        # duplicates — global spans are disjoint).
+        merged_ids = sorted(set(merged_ids))
         strategies = {partial.strategy for partial in partials}
         if not strategies:
             merged_strategy = strategy
@@ -266,7 +341,7 @@ class ShardedQueryService(ServingFacade):
         targets = self._target_shards(documents)
         merged: list[int] = []
         for shard, scope in targets:
-            ids = NaiveMatcher(shard.db).match_ids(twig)
+            ids = shard.oracle_ids(twig)
             merged.extend(
                 self.collection.translate_sorted(shard.index, sorted(ids), scope=scope)
             )
@@ -277,12 +352,14 @@ class ShardedQueryService(ServingFacade):
     # Stats hooks for the shared batch loop
     # ------------------------------------------------------------------
     def _stats_snapshot(self):
-        return [shard.stats.snapshot() for shard in self.collection.shards]
+        # A replicated shard's snapshot folds its replicas together via
+        # StatsCollector.merge, so replica write amplification is priced.
+        return [shard.stats_snapshot() for shard in self.collection.shards]
 
     def _stats_diff(self, before) -> dict[str, int]:
         return sum_snapshots(
             *(
-                shard.stats.diff(snapshot)
+                shard.stats_diff(snapshot)
                 for shard, snapshot in zip(self.collection.shards, before)
             )
         )
@@ -324,10 +401,25 @@ class ShardedQueryService(ServingFacade):
         # A replace decomposes into a remove + an add at the shard
         # services (the halves may even land on different shards), so
         # the per-shard counters record the decomposition; the
-        # collection counts the operation as itself.
+        # collection counts the operation as itself.  Moves decompose
+        # the same way — the topology's counter is the operation-level
+        # truth.
         report["maintenance"]["documents_replaced"] = (
             self.collection.documents_replaced
         )
+        report["maintenance"]["documents_moved"] = (
+            self.collection.topology.documents_moved
+        )
+        if self.collection.replica_count > 1:
+            report["replica_reads"] = {
+                "picker": self.collection.shards[0].picker.name,
+                "per_shard": [
+                    list(shard.replica_reads) for shard in self.collection.shards
+                ],
+                "total": sum(
+                    sum(shard.replica_reads) for shard in self.collection.shards
+                ),
+            }
         report["queries_executed"] = self.queries_executed
         return report
 

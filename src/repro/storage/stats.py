@@ -113,6 +113,13 @@ class StatsCollector:
     join_probes: int = 0
     join_comparisons: int = 0
     tuples_produced: int = 0
+    #: Completed cross-shard document moves (online rebalancing).  Not a
+    #: cost term of either formula — a move's real work is already
+    #: charged as delete-side maintenance on the source shard and
+    #: insert-side maintenance on the target shard — but carried here so
+    #: movement activity aggregates through the same snapshot / merge /
+    #: diff machinery as every other counter.
+    documents_moved: int = 0
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

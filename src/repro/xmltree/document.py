@@ -56,6 +56,23 @@ class Document:
         """Number of nodes (including value leaves) in the document."""
         return sum(1 for _ in self.iter_nodes())
 
+    def clone(self) -> "Document":
+        """A deep, unattached copy of this document's tree.
+
+        Node kinds and labels are copied; ids, parents and depths are
+        left for :meth:`XmlDatabase.add_document` to assign, so the
+        clone can be added to a *different* database — trees are never
+        shared between databases.  The replicated-shard tier uses this
+        to write one logical document through to every replica.
+        """
+        copied_root = Node(self.root.kind, self.root.label)
+        stack = [(self.root, copied_root)]
+        while stack:
+            original, copy = stack.pop()
+            for child in original.children:
+                stack.append((child, copy.add_child(Node(child.kind, child.label))))
+        return Document(copied_root, name=self.name)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Document(name={self.name!r}, root={self.root.label!r})"
 

@@ -10,11 +10,19 @@ replays randomized document sets through both tiers and diffs every
 answer (ids and cardinalities) across a Figure-12-style generated
 workload, then adds one more document through the incremental
 maintenance path and diffs again.
+
+The dynamic-topology extensions hold the same invariant under churn
+the static tier never saw: answers are diffed before, **during**
+(after every individual move) and after a ``rebalance()`` of a
+hash-skewed corpus — including after span compaction and post-rebalance
+adds — and under replica read fan-out, where every replica of every
+shard serves a slice of the diffed reads.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 
 import pytest
 
@@ -173,4 +181,145 @@ def test_sharded_batch_equals_single_batch():
     assert single_batch.cache_hits == len(workload)
     assert sharded_batch.cache_hits == len(workload)
     assert sharded_batch.total_cost > 0
+    sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Dynamic topology: rebalancing and replication
+# ----------------------------------------------------------------------
+def _skewed_documents(parameters):
+    """The randomized corpus with names that all hash onto shard 0 of 4."""
+    documents = _documents(parameters)
+    for position, document in enumerate(documents):
+        for salt in range(10_000):
+            name = f"skew-{position}-{salt}"
+            if zlib.crc32(name.encode("utf-8")) % 4 == 0:
+                document.name = name
+                break
+    return documents
+
+
+def test_rebalance_preserves_answers_before_during_and_after():
+    """The acceptance invariant: sharded == single through a rebalance.
+
+    A hash-skewed corpus (every document on shard 0 of 4) is rebalanced
+    move by move; the full workload is diffed against the single engine
+    at every intermediate topology, after compaction, and after one
+    more post-rebalance add.
+    """
+    parameters = _document_parameters(seed=13, count=4)
+    workload = _workload()
+
+    single = TwigIndexDatabase.from_documents(_skewed_documents(parameters))
+    single.build_index("rootpaths")
+    single.build_index("datapaths")
+    sharded = ShardedQueryService.from_documents(
+        _skewed_documents(parameters), num_shards=4, placement="hash"
+    )
+    sharded.build_index("rootpaths")
+    sharded.build_index("datapaths")
+
+    # The crafted names really did skew everything onto one shard.
+    assert sharded.collection.topology.live_counts() == [4, 0, 0, 0]
+    _diff_answers(single, sharded, MATRIX_STRATEGIES, workload, "skewed/pre")
+
+    plan = sharded.plan_rebalance("size_balanced")
+    assert plan, "a skewed corpus must produce a non-empty plan"
+    for index, move in enumerate(plan):
+        sharded.move_document(move.placement, move.target_shard)
+        # Mid-rebalance topologies answer exactly (subset of strategies
+        # per step keeps the matrix runtime in check; the final diff
+        # below covers RP/DP/auto on the settled topology).
+        _diff_answers(
+            single, sharded, (AUTO_STRATEGY,), workload, f"skewed/move-{index}"
+        )
+    assert all(count > 0 for count in sharded.collection.topology.live_counts())
+
+    pruned = sharded.compact()
+    assert pruned == len(plan)
+    _diff_answers(single, sharded, MATRIX_STRATEGIES, workload, "skewed/rebalanced")
+
+    # One more document through the incremental path on the rebalanced
+    # topology: global ids keep lining up with the single engine.
+    delta = (0.015, 1717)
+    for tier in (single, sharded):
+        tier.add_document(
+            generate_xmark(scale=delta[0], seed=delta[1], name="post-rebalance")
+        )
+    _diff_answers(single, sharded, MATRIX_STRATEGIES, workload, "skewed/+delta")
+    sharded.close()
+
+
+@pytest.mark.parametrize("read_picker", ("round_robin", "least_loaded", "sticky"))
+def test_replicated_shards_equal_single_engine(read_picker):
+    """Replica read fan-out never changes an answer, for any picker."""
+    parameters = _document_parameters(seed=29, count=4)
+    workload = _workload()
+
+    single = TwigIndexDatabase.from_documents(_documents(parameters))
+    single.build_index("rootpaths")
+    single.build_index("datapaths")
+    sharded = ShardedQueryService.from_documents(
+        _documents(parameters),
+        num_shards=2,
+        placement="round_robin",
+        replicas=3,
+        read_picker=read_picker,
+    )
+    sharded.build_index("rootpaths")
+    sharded.build_index("datapaths")
+
+    _diff_answers(
+        single, sharded, MATRIX_STRATEGIES, workload, f"replicas/{read_picker}"
+    )
+    # The diff above issued enough uncached reads that the fan-out
+    # demonstrably spread (round-robin cycles; the others may skew but
+    # the counters must exist and sum to the reads served).
+    report = sharded.describe()
+    assert report["replica_reads"]["picker"] == read_picker
+    assert report["replica_reads"]["total"] > 0
+    if read_picker == "round_robin":
+        for reads in report["replica_reads"]["per_shard"]:
+            assert all(count > 0 for count in reads)
+
+    # Mutations through the replicated write path keep the tiers equal.
+    delta = (0.015, 3131)
+    for tier in (single, sharded):
+        tier.add_document(
+            generate_xmark(scale=delta[0], seed=delta[1], name="replica-delta")
+        )
+    single.service.remove_document("doc-1")
+    sharded.remove_document("doc-1")
+    _diff_answers(
+        single, sharded, MATRIX_STRATEGIES, workload, f"replicas/{read_picker}+churn"
+    )
+    sharded.close()
+
+
+def test_rebalance_under_replicas_preserves_answers():
+    """Moves between replicated shards write through to every replica."""
+    parameters = _document_parameters(seed=41, count=3)
+    workload = _workload()
+
+    single = TwigIndexDatabase.from_documents(_skewed_documents(parameters))
+    single.build_index("rootpaths")
+    single.build_index("datapaths")
+    sharded = ShardedQueryService.from_documents(
+        _skewed_documents(parameters),
+        num_shards=4,
+        placement="hash",
+        replicas=2,
+        read_picker="round_robin",
+    )
+    sharded.build_index("rootpaths")
+    sharded.build_index("datapaths")
+
+    report = sharded.rebalance("size_balanced", compact=True)
+    assert report.documents_moved > 0
+    # Every replica of every shard agrees on its shard's watermark.
+    for shard in sharded.collection.shards:
+        assert len({replica.watermark for replica in shard.replicas}) == 1
+    _diff_answers(
+        single, sharded, MATRIX_STRATEGIES, workload, "replicas/rebalanced"
+    )
     sharded.close()
