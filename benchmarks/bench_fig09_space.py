@@ -18,7 +18,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import size_table
-from repro.bench.harness import STRATEGY_LABELS
 
 #: Figure 9 columns: strategy -> the indices whose sizes add up to that column.
 FIGURE9_COLUMNS = {

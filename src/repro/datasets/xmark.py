@@ -134,7 +134,7 @@ def _add_regions(site: Node, config: XMarkConfig, rng: random.Random) -> None:
                 category = f"category{rng.randrange(config.categories)}"
             _element(incategory, "category", category)
             mailbox = item.add_child(Node(NodeKind.ELEMENT, "mailbox"))
-            for mail_number in range(rng.randrange(config.mails_per_item_max + 1)):
+            for _mail_number in range(rng.randrange(config.mails_per_item_max + 1)):
                 mail = mailbox.add_child(Node(NodeKind.ELEMENT, "mail"))
                 _element(mail, "date", f"{rng.randrange(1, 29):02d}/{rng.randrange(1, 13):02d}/2000")
                 _element(mail, "to", f"person{rng.randrange(config.scaled(config.persons))}")

@@ -22,7 +22,7 @@ Characteristics reproduced from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..paths.fourary import iter_rootpaths_rows
@@ -62,6 +62,10 @@ class AccessSupportRelationsIndex(PathIndex):
         id_list_sublist="all ids, one column per node",
         indexed_columns=("LeafValue per relation",),
     )
+
+    # Per-path relations are rebuilt wholesale; no incremental path.
+    incremental = False
+    incremental_removal = False
 
     #: Fixed logical charge for opening a relation (catalog lookup + root
     #: page), modelling why touching many small relations is linear in

@@ -41,6 +41,10 @@ class IndexFabricIndex(PathIndex):
         indexed_columns=("SchemaPath", "LeafValue"),
     )
 
+    # Raw-path keys cannot be patched in place; rebuild on maintenance.
+    incremental = False
+    incremental_removal = False
+
     def __init__(
         self,
         stats: Optional[StatsCollector] = None,

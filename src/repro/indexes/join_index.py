@@ -80,6 +80,10 @@ class JoinIndicesIndex(PathIndex):
         indexed_columns=("HeadId (forward)", "LeafValue, TailId (backward)"),
     )
 
+    # Endpoint relations are rebuilt wholesale; no incremental path.
+    incremental = False
+    incremental_removal = False
+
     #: Fixed logical charge for opening a relation, as for ASR.
     RELATION_OPEN_COST = 2
 

@@ -190,7 +190,7 @@ class RootPathsIndex(PathIndex):
                 "a prefix scan; rebuild with reverse_schema_path=True"
             )
         prefix = encode_key((value, *tag_ids))
-        for key, payload in self._tree.scan_prefix(prefix):
+        for _key, payload in self._tree.scan_prefix(prefix):
             labels, ids, leaf_value = payload
             if anchored and len(labels) != len(segment_labels):
                 continue

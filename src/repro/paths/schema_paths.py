@@ -19,7 +19,7 @@ schema paths a recursive pattern matches), and by the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Sequence
 
 LabelPath = tuple[str, ...]
 

@@ -18,7 +18,7 @@ generic joiner in :mod:`repro.planner.joiner` combines them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..query.ast import Axis, TwigNode

@@ -30,7 +30,7 @@ from __future__ import annotations
 import abc
 from typing import Iterable, Optional, Sequence
 
-from ..errors import PlanningError, QueryNotSupportedError
+from ..errors import PlanningError
 from ..indexes.asr import AccessSupportRelationsIndex
 from ..indexes.base import PathIndex, PathMatch
 from ..indexes.dataguide import DataGuideIndex

@@ -11,7 +11,7 @@ counts into the shared stats collector.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from .operators import PlanOperator, Row
 from .schema import RowSchema

@@ -329,7 +329,6 @@ class BPlusTree:
             value_size_of = lambda value: 8  # noqa: E731
 
         total = 0
-        entries = 0
         previous_key: Optional[EncodedKey] = None
         node = self._root
         while isinstance(node, _Internal):
@@ -339,7 +338,6 @@ class BPlusTree:
         while leaf is not None:
             leaves += 1
             for key, value in zip(leaf.keys, leaf.values):
-                entries += 1
                 if prefix_compression and previous_key is not None:
                     common = 0
                     for a, b in zip(previous_key, key):

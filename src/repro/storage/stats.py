@@ -27,7 +27,7 @@ currency") for how the two formulas relate.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Iterator, Mapping
 
 #: Weight of one page-granularity read (B+-tree node or heap page) in the

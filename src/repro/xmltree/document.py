@@ -18,7 +18,7 @@ generation model").
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from ..errors import DocumentError
 from .dictionary import TagDictionary

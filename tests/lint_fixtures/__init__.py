@@ -1,0 +1,3 @@
+"""Deliberately broken (and matching clean) inputs for the repro-lint
+tests.  Nothing here is imported at runtime; the linter parses these
+files as text.  Excluded from ruff and from the CI lint gate."""

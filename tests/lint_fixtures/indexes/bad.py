@@ -1,0 +1,13 @@
+"""RPR003 violations: container mutations that never reach the stats."""
+
+
+class PostingList:
+    def __init__(self, stats):
+        self.stats = stats
+        self.entries = []
+
+    def add(self, key):
+        self.entries.append(key)  # nothing charged, nothing delegated
+
+    def overwrite(self, index, key):
+        self.entries[index] = key  # silent in-place write

@@ -1,0 +1,31 @@
+"""RPR003 clean: every container mutation charges, directly or via a
+callee (the directory name puts these files in the checker's scope)."""
+
+
+class PostingList:
+    def __init__(self, stats):
+        self.stats = stats
+        self.entries = []
+
+    def add(self, key):
+        self.entries.append(key)
+        self.stats.index_entry_writes += 1
+
+    def bulk(self, keys):
+        self._extend(keys)
+
+    def _extend(self, keys):
+        self.entries.extend(keys)
+        self._charge(len(keys))
+
+    def _charge(self, amount):
+        self.stats.index_entry_writes += amount
+
+
+class Delegating:
+    def __init__(self, tree, stats):
+        self._tree = tree
+        self.stats = stats
+
+    def add(self, key, value):
+        self._tree.insert(key, value)  # primitive charges internally

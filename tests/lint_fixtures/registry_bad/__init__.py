@@ -1,0 +1,8 @@
+"""RPR004 registry violations: an unregistered subclass and a ghost entry."""
+
+from .models import GammaIndex
+
+INDEX_TYPES = {
+    GammaIndex.name: GammaIndex,
+    "ghost": GhostIndex,  # noqa: F821 - never imported; the linter only parses
+}

@@ -1,0 +1,20 @@
+"""Index classes for the broken registry fixture."""
+
+
+class PathIndex:
+    """Local stand-in for the real base; not itself checked."""
+
+    incremental = False
+    incremental_removal = False
+
+
+class GammaIndex(PathIndex):
+    name = "gamma"
+    incremental = False
+    incremental_removal = False
+
+
+class DeltaIndex(PathIndex):
+    name = "delta"  # defined here but missing from INDEX_TYPES
+    incremental = False
+    incremental_removal = False

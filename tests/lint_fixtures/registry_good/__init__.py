@@ -1,0 +1,8 @@
+"""RPR004 registry clean: every local subclass registered, every entry real."""
+
+from .models import AlphaIndex, BetaIndex
+
+INDEX_TYPES = {
+    AlphaIndex.name: AlphaIndex,
+    BetaIndex.name: BetaIndex,
+}

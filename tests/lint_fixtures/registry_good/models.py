@@ -1,0 +1,20 @@
+"""Index classes for the clean registry fixture."""
+
+
+class PathIndex:
+    """Local stand-in for the real base; not itself checked."""
+
+    incremental = False
+    incremental_removal = False
+
+
+class AlphaIndex(PathIndex):
+    name = "alpha"
+    incremental = False
+    incremental_removal = False
+
+
+class BetaIndex(PathIndex):
+    name = "beta"
+    incremental = False
+    incremental_removal = False

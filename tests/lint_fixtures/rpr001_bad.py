@@ -1,0 +1,16 @@
+"""RPR001 violation: a public method writes a guarded attribute unlocked."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, amount):
+        with self._lock:
+            self.total += amount
+
+    def reset(self):
+        self.total = 0  # guarded elsewhere, written here without the lock

@@ -1,0 +1,21 @@
+"""RPR001 clean: every public write to a guarded attribute holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, amount):
+        with self._lock:
+            self.total += amount
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+
+    def _drain(self):
+        # Private helper: assumed to run with the lock already held.
+        self.total = 0

@@ -1,0 +1,14 @@
+"""RPR002 violations: nested and unordered shard-lock acquisitions."""
+
+
+def move_nested(source, target, doc):
+    with source.add_lock:
+        with target.add_lock:  # nested acquisition: order depends on caller
+            source.remove(doc)
+            target.add(doc)
+
+
+def move_unordered(source, target, doc):
+    with source.add_lock, target.add_lock:  # owners never sorted
+        source.remove(doc)
+        target.add(doc)

@@ -1,0 +1,18 @@
+"""RPR002 clean: multi-shard locks taken in one `with`, sorted first."""
+
+
+def move(source, target, doc):
+    first, second = sorted((source, target), key=lambda shard: shard.index)
+    with first.add_lock, second.add_lock:
+        source.remove(doc)
+        target.add(doc)
+
+
+def add(shard, doc):
+    with shard.add_lock:
+        shard.add(doc)
+
+
+def guard_self(self_like, doc):
+    with self_like.add_lock:
+        self_like.add(doc)

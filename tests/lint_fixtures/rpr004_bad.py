@@ -1,0 +1,26 @@
+"""RPR004 violations: silent defaults, lying flags, dead hooks."""
+
+
+class PathIndex:
+    """Local stand-in for the real base; not itself checked."""
+
+    incremental = False
+    incremental_removal = False
+
+
+class SilentDefault(PathIndex):
+    pass  # neither flags nor hooks: the fall-back is invisible
+
+
+class LyingFlag(PathIndex):
+    incremental = True  # promises an incremental path...
+    incremental_removal = False
+    # ...but defines no _update
+
+
+class DeadHook(PathIndex):
+    incremental = False  # hides the override it ships
+    incremental_removal = False
+
+    def _update(self, db, doc):
+        return doc

@@ -1,0 +1,24 @@
+"""RPR005 violations: dropped futures and swallowed exceptions."""
+
+
+def scatter(executor, work, shards):
+    futures = [executor.submit(work, shard) for shard in shards]
+    return len(futures)  # futures never consumed
+
+
+def fire_and_forget(executor, task):
+    executor.submit(task)  # future discarded outright
+
+
+def swallow(operation):
+    try:
+        return operation()
+    except Exception:
+        return None  # broad catch, never re-raised
+
+
+def swallow_all(operation):
+    try:
+        return operation()
+    except:  # noqa: E722 - the point of the fixture
+        return None

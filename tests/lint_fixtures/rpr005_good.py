@@ -1,0 +1,21 @@
+"""RPR005 clean: futures consumed, exceptions narrow or re-raised."""
+
+
+def scatter(executor, work, shards):
+    futures = [executor.submit(work, shard) for shard in shards]
+    return [future.result() for future in futures]
+
+
+def tolerant(operation):
+    try:
+        return operation()
+    except ValueError:
+        return None
+
+
+def logged(operation, log):
+    try:
+        return operation()
+    except Exception:
+        log.warning("operation failed")
+        raise

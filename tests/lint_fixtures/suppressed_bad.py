@@ -1,0 +1,13 @@
+"""Malformed suppressions: unknown code, missing justification, RPR000."""
+
+
+def unknown_code(executor, task):
+    executor.submit(task)  # repro-lint: ignore[RPR999] -- code does not exist
+
+
+def no_reason(executor, task):
+    executor.submit(task)  # repro-lint: ignore[RPR005]
+
+
+def meta_code(executor, task):
+    executor.submit(task)  # repro-lint: ignore[RPR000,RPR005] -- RPR000 is not suppressible

@@ -1,0 +1,11 @@
+"""Well-formed suppressions: the findings below are silenced, with reasons."""
+
+
+def fire_and_forget(executor, task):
+    executor.submit(task)  # repro-lint: ignore[RPR005] -- fixture: deliberate fire-and-forget
+
+
+def scatter(executor, work, shards):
+    # repro-lint: ignore[RPR005] -- fixture: caller consumes the futures
+    futures = [executor.submit(work, shard) for shard in shards]
+    return futures

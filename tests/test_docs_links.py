@@ -66,3 +66,22 @@ def test_module_docstrings_cross_link_the_architecture_doc():
     for path in linked:
         text = (REPO_ROOT / path).read_text(encoding="utf-8")
         assert "ARCHITECTURE.md" in text, f"{path} lost its docs cross-link"
+
+
+def test_analysis_doc_exists_and_is_cross_linked():
+    assert (REPO_ROOT / "docs" / "ANALYSIS.md").is_file()
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "docs/ANALYSIS.md" in readme
+    assert "ANALYSIS.md" in architecture
+
+
+def test_suppression_codes_resolve_against_the_lint_registry():
+    checker = _load_checker()
+    problems = checker.check_suppression_codes()
+    assert problems == [], "\n".join(problems)
+    # The exemption matters: this fixture deliberately names RPR999.
+    fixture = REPO_ROOT / "tests" / "lint_fixtures" / "suppressed_bad.py"
+    assert "RPR999" in fixture.read_text(encoding="utf-8")

@@ -16,7 +16,6 @@ from repro.errors import PlanningError
 from repro.query import NaiveMatcher
 from repro.workloads import (
     ALL_QUERIES,
-    WorkloadQuery,
     branch_count_sweep,
     generate_twig,
     make_recursive,

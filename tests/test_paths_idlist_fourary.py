@@ -1,6 +1,5 @@
 """Tests for IdList encoding, the 4-ary relation enumeration and compression."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.paths import (

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.datasets import FIGURE_1_QUERY
-from repro.query import NaiveMatcher, parse_xpath
-from repro.query.ast import Axis
+from repro.query import parse_xpath
 
 
 # ----------------------------------------------------------------------

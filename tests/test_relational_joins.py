@@ -78,7 +78,10 @@ rows_strategy = st.lists(
 @given(rows_strategy, rows_strategy)
 def test_property_merge_equals_hash_equals_nested_loop(left_rows, right_rows):
     expected = sorted(
-        l + r for l in left_rows for r in right_rows if l[0] == r[0]
+        lhs + rhs
+        for lhs in left_rows
+        for rhs in right_rows
+        if lhs[0] == rhs[0]
     )
     merge = sorted(
         MergeJoin(src(("k", "l"), left_rows), src(("k", "r"), right_rows), "k", "k").rows()

@@ -234,7 +234,7 @@ def test_churn_accumulates_retired_spans_and_compact_prunes_them():
 
     alive: list[str] = []
     serial = 0
-    for step in range(40):
+    for _step in range(40):
         action = rng.random()
         if action < 0.5 or len(alive) < 2:
             name = f"churn-{serial}"

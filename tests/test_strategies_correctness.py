@@ -12,9 +12,7 @@ from hypothesis import given, settings, strategies as st
 from repro import TwigIndexDatabase
 from repro.datasets import FIGURE_1_QUERY, book_document
 from repro.planner import DEFAULT_STRATEGIES
-from repro.query import parse_xpath
 from repro.workloads import (
-    ALL_QUERIES,
     branch_count_sweep,
     generate_twig,
     queries_for_dataset,

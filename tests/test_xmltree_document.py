@@ -10,7 +10,6 @@ from repro.xmltree import (
     NodeKind,
     TreeBuilder,
     VIRTUAL_ROOT_ID,
-    XmlDatabase,
     build_database,
 )
 

@@ -1,0 +1,6 @@
+"""Repository tooling: the ``repro-lint`` static analyzer and doc checkers.
+
+Making ``tools`` a package lets CI (and developers) run the invariant
+checker as ``python -m tools.lint src/ tools/`` from the repository
+root.  ``check_doc_links.py`` remains directly runnable as a script.
+"""

@@ -14,6 +14,13 @@ and fails with a non-zero exit status listing every target that does
 not exist relative to the referencing file (links) or the repository
 root (code mentions).  Run directly or through
 ``tests/test_docs_links.py``; CI runs it as the docs link-check step.
+
+It also keeps the lint suppressions honest: every ``RPRxxx`` code named
+in a ``repro-lint: ignore[...]`` comment anywhere under ``src/``,
+``tools/``, ``tests/`` or ``benchmarks/`` must exist in the checker
+registry (``tools/lint``), so a renamed or removed checker cannot leave
+stale suppressions behind.  ``tests/lint_fixtures/`` is exempt — its
+files are deliberately malformed inputs for the lint tests.
 """
 
 from __future__ import annotations
@@ -78,12 +85,50 @@ def check_document(doc: Path) -> list[str]:
     return problems
 
 
+#: Python trees whose suppression comments are validated.
+SUPPRESSION_TREES = ("src", "tools", "tests", "benchmarks")
+
+#: Directories holding deliberately malformed linter inputs.
+SUPPRESSION_EXEMPT = "lint_fixtures"
+
+
+def check_suppression_codes() -> list[str]:
+    """Suppression comments naming codes the lint registry doesn't know."""
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))
+    from tools.lint import CHECKER_CODES
+    from tools.lint.findings import scan_suppressions
+
+    problems: list[str] = []
+    for tree in SUPPRESSION_TREES:
+        root = REPO_ROOT / tree
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if SUPPRESSION_EXEMPT in path.parts:
+                continue
+            source = path.read_text(encoding="utf-8")
+            if "repro-lint:" not in source:
+                continue
+            label = path.relative_to(REPO_ROOT)
+            for suppression in scan_suppressions(source):
+                for code in suppression.codes:
+                    if code not in CHECKER_CODES:
+                        problems.append(
+                            f"{label}:{suppression.line}: suppression names "
+                            f"unknown lint code {code!r} (known: "
+                            f"{', '.join(sorted(CHECKER_CODES))})"
+                        )
+    return problems
+
+
 def main() -> int:
     documents = _documents()
     if not documents:
         print("no documentation files found", file=sys.stderr)
         return 1
     problems = [problem for doc in documents for problem in check_document(doc)]
+    problems.extend(check_suppression_codes())
     if problems:
         print("\n".join(problems), file=sys.stderr)
         print(f"\n{len(problems)} broken documentation reference(s)", file=sys.stderr)

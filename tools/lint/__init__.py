@@ -1,0 +1,152 @@
+"""``repro-lint``: AST-based invariant checks for this repository.
+
+The framework walks Python sources with the standard :mod:`ast` module
+and runs a registry of checkers over each parsed file — no third-party
+dependencies, so it works in the same bare container the test suite
+runs in.  See ``docs/ANALYSIS.md`` for the catalogue of codes and
+``python -m tools.lint --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .checkers import ALL_CHECKERS, CHECKER_CODES
+from .findings import (
+    META_CODE,
+    Finding,
+    Suppression,
+    apply_suppressions,
+    scan_suppressions,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "CHECKER_CODES",
+    "META_CODE",
+    "Finding",
+    "LintResult",
+    "collect_files",
+    "run_paths",
+]
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Iterable[str]) -> list[Path]:
+    """The ``.py`` files under ``paths`` (files kept, dirs walked)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (SKIP_DIRS & set(candidate.parts))
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _suppression_hygiene(
+    path: str, suppressions: Sequence[Suppression]
+) -> list[Finding]:
+    """RPR000 findings for malformed suppressions in one file."""
+    findings: list[Finding] = []
+    for suppression in suppressions:
+        unknown = [
+            code for code in suppression.codes if code not in CHECKER_CODES
+        ]
+        if not suppression.codes:
+            unknown = ["<empty>"]
+        for code in unknown:
+            if code == META_CODE:
+                message = (
+                    f"{META_CODE} (suppression hygiene) cannot be "
+                    "suppressed"
+                )
+            else:
+                message = (
+                    f"suppression names unknown code {code}; known "
+                    f"codes are {', '.join(sorted(CHECKER_CODES))}"
+                )
+            findings.append(
+                Finding(
+                    code=META_CODE,
+                    path=path,
+                    line=suppression.line,
+                    message=message,
+                )
+            )
+        if not suppression.justification:
+            findings.append(
+                Finding(
+                    code=META_CODE,
+                    path=path,
+                    line=suppression.line,
+                    message=(
+                        "suppression has no justification; append "
+                        "'-- why it is safe' after the bracket"
+                    ),
+                )
+            )
+    return findings
+
+
+def run_paths(
+    paths: Iterable[str], select: Optional[Iterable[str]] = None
+) -> LintResult:
+    """Run every (selected) checker over the files under ``paths``."""
+    selected = set(select) if select is not None else None
+    checkers = [
+        checker_cls()
+        for checker_cls in ALL_CHECKERS
+        if selected is None or checker_cls.code in selected
+    ]
+    result = LintResult()
+    for file_path in collect_files(paths):
+        display = file_path.as_posix()
+        result.files_checked += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.findings.append(
+                Finding(
+                    code=META_CODE,
+                    path=display,
+                    line=getattr(exc, "lineno", None) or 1,
+                    message=f"could not parse file: {exc}",
+                )
+            )
+            continue
+        file_findings: list[Finding] = []
+        for checker in checkers:
+            if checker.matches(file_path):
+                file_findings.extend(checker.check_file(display, tree, source))
+        suppressions = scan_suppressions(source)
+        file_findings.extend(_suppression_hygiene(display, suppressions))
+        result.findings.extend(
+            apply_suppressions(file_findings, suppressions)
+        )
+    for checker in checkers:
+        result.findings.extend(checker.finalize())
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,29 @@
+"""Checker registry for ``repro-lint``.
+
+New checkers register here: import the class, append it to
+:data:`ALL_CHECKERS`, and the runner, the ``--list-codes`` output, the
+suppression-hygiene pass and ``tools/check_doc_links.py`` all pick it
+up automatically.
+"""
+
+from __future__ import annotations
+
+from .base import Checker
+from .contracts import MaintenanceContractChecker
+from .costs import CostAccountingChecker
+from .executors import ExecutorHygieneChecker
+from .locks import LockDisciplineChecker, LockOrderingChecker
+
+#: Every registered checker class, in code order.
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    LockDisciplineChecker,
+    LockOrderingChecker,
+    CostAccountingChecker,
+    MaintenanceContractChecker,
+    ExecutorHygieneChecker,
+)
+
+#: ``code -> checker class`` for lookups and ``--select`` validation.
+CHECKER_CODES: dict[str, type[Checker]] = {
+    checker.code: checker for checker in ALL_CHECKERS
+}

@@ -1,0 +1,47 @@
+"""The checker interface the ``repro-lint`` runner drives."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..findings import Finding
+
+
+class Checker:
+    """One invariant: a code, a scope and a per-file AST pass.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description`,
+    implement :meth:`check_file`, and may implement :meth:`finalize`
+    for whole-run checks that need to see every file first (the RPR004
+    registry comparison).  A fresh instance is created per run, so
+    checkers may accumulate state across :meth:`check_file` calls.
+    """
+
+    #: Stable finding code (``RPR001`` ...), unique across the registry.
+    code: str = "RPR999"
+    #: Short kebab name used by reporters and docs.
+    name: str = "abstract"
+    #: One-line summary shown by ``--list-codes``.
+    description: str = ""
+    #: Path substrings (POSIX) this checker is scoped to; empty = all
+    #: files.  Matching is substring-based so the scope survives both
+    #: absolute and repository-relative invocation.
+    scope: tuple[str, ...] = ()
+
+    def matches(self, path: Path) -> bool:
+        """Whether this checker applies to ``path`` (scope filter)."""
+        if not self.scope:
+            return True
+        posix = path.as_posix()
+        return any(pattern in posix for pattern in self.scope)
+
+    def check_file(
+        self, path: str, tree: ast.Module, source: str
+    ) -> list[Finding]:
+        """Findings for one parsed file (``path`` is the display path)."""
+        raise NotImplementedError
+
+    def finalize(self) -> list[Finding]:
+        """Whole-run findings, after every file was checked."""
+        return []

@@ -1,0 +1,83 @@
+"""Command-line front end: ``python -m tools.lint [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import CHECKER_CODES, run_paths
+from .reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checks for lock discipline, cost "
+            "accounting and index-maintenance contracts "
+            "(docs/ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools"],
+        help="files or directories to check (default: src tools)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated checker codes to run (e.g. RPR001,RPR003)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="list the registered checker codes and exit",
+    )
+    return parser
+
+
+def _parse_select(raw: str) -> list[str]:
+    codes = [code.strip() for code in raw.split(",") if code.strip()]
+    unknown = [code for code in codes if code not in CHECKER_CODES]
+    if unknown:
+        raise SystemExit(
+            f"repro-lint: unknown code(s) {', '.join(unknown)}; known: "
+            f"{', '.join(sorted(CHECKER_CODES))}"
+        )
+    return codes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_codes:
+        for code in sorted(CHECKER_CODES):
+            checker = CHECKER_CODES[code]
+            print(f"{code}  {checker.name}: {checker.description}")
+        return 0
+    try:
+        select = _parse_select(options.select) if options.select else None
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    result = run_paths(options.paths, select=select)
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result) + "\n")
+    print(render_json(result) if options.json else render_text(result))
+    return 0 if result.clean else 1

@@ -1,0 +1,115 @@
+"""The finding model and inline-suppression parsing for ``repro-lint``.
+
+A :class:`Finding` is one violation: a checker code, a file, a line and
+a human-readable message.  Findings are value objects so reporters and
+tests can sort, compare and deduplicate them.
+
+Suppressions are inline comments of the form::
+
+    some_code_here()  # repro-lint: ignore[RPR003] -- charged by the caller
+
+The bracket lists one or more comma-separated checker codes; everything
+after ``--`` is the mandatory justification.  A suppression covers its
+own line and, when it stands alone on a comment-only line, the line
+below it.  Suppressions without a justification, or naming a code the
+registry does not know, are themselves reported under the framework
+meta code :data:`META_CODE` (RPR000) — and RPR000 cannot be suppressed,
+so suppression hygiene is a hard gate like everything else.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: Framework meta code: suppression hygiene and unparsable files.
+META_CODE = "RPR000"
+
+#: ``# repro-lint: ignore[RPR001,RPR002] -- justification`` (trailing ok).
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([^\]]*)\]\s*(?:--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation reported by a checker."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.code, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: ignore[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: Optional[str]
+    #: True when the comment owns its whole line, in which case it also
+    #: covers the line below (the statement it annotates).
+    standalone: bool
+
+    def covered_lines(self) -> tuple[int, ...]:
+        if self.standalone:
+            return (self.line, self.line + 1)
+        return (self.line,)
+
+
+def scan_suppressions(source: str) -> list[Suppression]:
+    """Every suppression comment in ``source``, in line order."""
+    suppressions: list[Suppression] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        justification = match.group("why")
+        suppressions.append(
+            Suppression(
+                line=line_number,
+                codes=codes,
+                justification=justification,
+                standalone=line.lstrip().startswith("#"),
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Drop findings covered by a suppression for their code.
+
+    RPR000 (suppression hygiene) findings are never dropped — a
+    suppression cannot vouch for itself.
+    """
+    covered: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        for line in suppression.covered_lines():
+            covered.setdefault(line, set()).update(suppression.codes)
+    return [
+        finding
+        for finding in findings
+        if finding.code == META_CODE
+        or finding.code not in covered.get(finding.line, ())
+    ]

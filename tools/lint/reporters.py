@@ -1,0 +1,34 @@
+"""Text and JSON rendering of a :class:`~tools.lint.LintResult`."""
+
+from __future__ import annotations
+
+import json
+
+from . import LintResult
+
+#: Bumped when the JSON shape changes, so CI consumers can pin it.
+JSON_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.format() for finding in result.findings]
+    if result.findings:
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s)"
+        )
+    else:
+        lines.append(f"clean: {result.files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report for the CI artifact."""
+    payload = {
+        "version": JSON_VERSION,
+        "files_checked": result.files_checked,
+        "finding_count": len(result.findings),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,153 @@
+"""Shared AST plumbing for the ``repro-lint`` checkers.
+
+Everything here is deliberately small: helpers to enumerate classes and
+methods, to recognise lock-attribute creation and ``with``-lock
+acquisition, and to extract the ``self.<attr>`` targets a statement
+writes.  Checkers compose these into their specific invariants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+#: Constructors whose result makes an attribute a lock:
+#: ``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``.
+LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def iter_classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    """Every class definition in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def iter_methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    """The directly defined methods of one class (no nested classes)."""
+    for node in cls.body:
+        if isinstance(node, FunctionNode):
+            yield node
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every function/method definition anywhere in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, FunctionNode):
+            yield node
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The trailing name of a call target (``x.y.z()`` -> ``"z"``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def is_lock_constructor(node: ast.AST) -> bool:
+    """True for ``threading.Lock()`` / ``threading.RLock()`` / ``Lock()``."""
+    return (
+        isinstance(node, ast.Call)
+        and call_name(node) in LOCK_FACTORIES
+        and not node.args
+        and not node.keywords
+    )
+
+
+def lock_attributes(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` slots a class binds to a new lock."""
+    locks: set[str] = set()
+    for method in iter_methods(cls):
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not is_lock_constructor(node.value):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def with_acquired_self_locks(
+    node: ast.With | ast.AsyncWith, lock_attrs: set[str]
+) -> list[str]:
+    """The class lock attrs a ``with`` statement takes via ``self.<lock>``."""
+    acquired: list[str] = []
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            acquired.append(expr.attr)
+    return acquired
+
+
+def written_self_attrs(node: ast.AST) -> list[tuple[str, int]]:
+    """``(attr, line)`` pairs for ``self.<attr>`` slots a statement writes.
+
+    Covers plain, augmented and annotated assignments, both to the
+    attribute itself (``self.total = 0``, ``self.total += 1``) and
+    through a subscript (``self.counts[key] = n``).  Annotated
+    assignments without a value (pure annotations) write nothing.
+    """
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.AnnAssign):
+        if node.value is None:
+            return []
+        targets = [node.target]
+    else:
+        return []
+    writes: list[tuple[str, int]] = []
+    stack = list(targets)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+            continue
+        base = target
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            writes.append((base.attr, target.lineno))
+    return writes
+
+
+def walk_with_lock_context(node, inside: bool, lock_attrs: set[str], on_node):
+    """Depth-first walk calling ``on_node(child, inside_lock)`` per node.
+
+    ``inside`` flips to True for the body of any ``with`` statement that
+    acquires one of ``lock_attrs`` through ``self`` — lexical
+    containment, the same approximation a reviewer applies.
+    """
+    for child in ast.iter_child_nodes(node):
+        child_inside = inside
+        if isinstance(child, (ast.With, ast.AsyncWith)):
+            if with_acquired_self_locks(child, lock_attrs):
+                child_inside = True
+        on_node(child, child_inside)
+        walk_with_lock_context(child, child_inside, lock_attrs, on_node)
+
+
+def is_public_method(method: ast.FunctionDef) -> bool:
+    """Public = not underscore-prefixed (dunders are not public entry
+    points for these invariants either)."""
+    return not method.name.startswith("_")
