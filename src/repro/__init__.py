@@ -28,6 +28,7 @@ from .errors import (
     UnsupportedLookupError,
     XmlParseError,
 )
+from .faults import FaultInjector, FaultPlan, InjectedFault
 from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
 from .query.parser import normalize_xpath, parse_xpath
 from .service import AUTO_STRATEGY, BatchResult, QueryService
@@ -43,6 +44,9 @@ __all__ = [
     "DEFAULT_STRATEGIES",
     "Document",
     "DocumentError",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
     "PlanningError",
     "QueryNotSupportedError",
     "QueryParseError",

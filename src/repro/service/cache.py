@@ -158,9 +158,16 @@ class LRUCache:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from the cache (0.0 when unused).
+
+        Reads ``hits`` and ``misses`` under the lock: a lock-free read
+        racing a concurrent ``get`` could pair a fresh ``hits`` with a
+        stale ``misses`` (or vice versa) and report a rate outside the
+        values any consistent counter pair would produce.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def describe(self) -> dict[str, object]:
         """Counter snapshot for service ``describe()`` reports."""

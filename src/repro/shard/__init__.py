@@ -19,11 +19,21 @@ throughout.  :class:`ReplicatedShard` puts N identical engine
 instances behind one shard for read scale-out, with pluggable read
 pickers (:data:`READ_PICKERS`) and write-through maintenance.
 
+The tier is *self-driving*: every replica carries a
+:class:`ReplicaHealth` state machine (healthy → suspect → dead) so
+failed reads retry on the next healthy replica,
+:meth:`ReplicatedShard.revive` re-syncs a quarantined replica from the
+shard's write log, and an :class:`AutoRebalancer` watches the
+topology's skew ratio between queries and fires ``rebalance(policy)``
+through a hysteresis band.  The deterministic fault-injection module
+(:mod:`repro.faults`) exercises all of it from tests and benches.
+
 Placement is pluggable (:data:`PLACEMENT_POLICIES`): hash-by-name,
 round-robin, or size-balanced (deterministic lowest-index tie-break).
 """
 
 from .collection import (
+    AutoRebalancer,
     DocumentPlacement,
     RebalanceMove,
     RebalanceReport,
@@ -41,7 +51,12 @@ from .placement import (
 from .replica import (
     LeastLoadedPicker,
     READ_PICKERS,
+    REPLICA_DEAD,
+    REPLICA_HEALTHY,
+    REPLICA_STATES,
+    REPLICA_SUSPECT,
     ReadPicker,
+    ReplicaHealth,
     ReplicatedShard,
     RoundRobinPicker,
     StickyPicker,
@@ -51,13 +66,19 @@ from .service import ShardedQueryService
 from .topology import ShardTopology
 
 __all__ = [
+    "AutoRebalancer",
     "DocumentPlacement",
     "HashPlacement",
     "LeastLoadedPicker",
     "PLACEMENT_POLICIES",
     "PlacementPolicy",
     "READ_PICKERS",
+    "REPLICA_DEAD",
+    "REPLICA_HEALTHY",
+    "REPLICA_STATES",
+    "REPLICA_SUSPECT",
     "ReadPicker",
+    "ReplicaHealth",
     "RebalanceMove",
     "RebalanceReport",
     "ReplicatedShard",

@@ -27,7 +27,22 @@ the same shard surface, for read scale-out past one engine per shard:
   :meth:`ReplicatedShard.stats_snapshot` folds every replica's
   collector together via :meth:`~repro.storage.stats.StatsCollector.merge`,
   so the N-fold write amplification of replication is priced honestly
-  in the same currency as everything else.
+  in the same currency as everything else;
+* **failures are survived, not propagated** — every replica carries a
+  health state machine (``healthy`` → ``suspect`` → ``dead``, driven by
+  consecutive ``execute`` failures), reads that fail are retried on the
+  next healthy replica (:data:`~repro.storage.stats.StatsCollector`
+  counters ``reads_retried`` / ``replicas_failed`` /
+  ``replicas_revived`` record the activity), pickers only see healthy
+  candidates, a dead replica is quarantined out of both the read pool
+  and the write fan-out, and :meth:`ReplicatedShard.revive` re-syncs a
+  quarantined replica by replaying the shard's write log — the
+  primary's document sequence, adds *and* removals, so the rebuilt
+  replica assigns exactly the primary's node ids.  Divergence (a
+  replica whose watermark drifts from the primary's) is caught by the
+  write-through alignment check and quarantined the same way.  The
+  fault-injection module (:mod:`repro.faults`) exists to exercise all
+  of this deterministically from tests and benches.
 
 Both classes expose the same surface (``execute`` / ``add_document`` /
 ``remove_document`` / ``build_index`` / ``stats_snapshot`` / ...), so
@@ -39,6 +54,7 @@ from __future__ import annotations
 
 import threading
 import zlib
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..errors import DocumentError
@@ -75,6 +91,14 @@ class Shard:
         #: + span record must be atomic per shard), without making other
         #: shards' reads or writes wait.
         self.add_lock = threading.RLock()
+        #: first node id -> live document, maintained by
+        #: :meth:`add_document` / :meth:`remove_document` so
+        #: :meth:`document_at` resolves in one dict probe instead of
+        #: scanning ``db.documents`` on every move / remove-by-span.
+        #: Ids are never reused, so a start id maps to at most one live
+        #: document; mutated only on the write path, which the caller
+        #: already serializes under :attr:`add_lock`.
+        self._by_first_id: dict[int, Document] = {}
 
     @property
     def watermark(self) -> int:
@@ -110,11 +134,15 @@ class Shard:
 
     def add_document(self, document: Document) -> Document:
         """Add one routed document through the shard's service."""
-        return self.service.add_document(document)
+        added = self.service.add_document(document)
+        self._by_first_id[added.first_id] = added
+        return added
 
     def remove_document(self, ref: Union[Document, str]) -> Document:
         """Remove one document through the shard's service."""
-        return self.service.remove_document(ref)
+        removed = self.service.remove_document(ref)
+        self._by_first_id.pop(removed.first_id, None)
+        return removed
 
     def build_index(self, name: str, **options):
         return self.service.build_index(name, **options)
@@ -138,10 +166,13 @@ class Shard:
         Spans are recorded at add time and ids are never reused, so the
         start id identifies a document unambiguously even when names
         collide — this is how a move resolves the object to detach.
+        Resolution is one probe of the first-id index maintained by the
+        write path (the churn differential tests pin that the index
+        tracks add/remove exactly), not a scan of ``db.documents``.
         """
-        for document in self.db.documents:
-            if document.first_id == local_start:
-                return document
+        document = self._by_first_id.get(local_start)
+        if document is not None:
+            return document
         raise DocumentError(
             f"shard {self.index} has no document starting at id {local_start}"
         )
@@ -158,6 +189,24 @@ class Shard:
 
     def service_report(self) -> dict[str, object]:
         return self.service.describe()
+
+    def health_report(self) -> dict[str, object]:
+        """Degenerate health report: a plain shard is its one healthy replica.
+
+        Shaped like :meth:`ReplicatedShard.health_report` so the
+        operations tier aggregates over a mixed collection without a
+        replica case.
+        """
+        return {
+            "replicas": 1,
+            "states": [REPLICA_HEALTHY],
+            "healthy": 1,
+            "suspect": 0,
+            "dead": 0,
+            "reads_retried": 0,
+            "replicas_failed": 0,
+            "replicas_revived": 0,
+        }
 
     def describe(self) -> dict[str, object]:
         """Shard-level size and cache counters."""
@@ -179,11 +228,13 @@ class Shard:
 class ReadPicker:
     """Strategy interface: choose which replica serves one read.
 
-    ``pick`` sees the per-replica in-flight read counts and a stable
-    key for the query (its normalized text) and returns a replica
-    index.  Pickers may keep state (the round-robin cursor); the
-    replicated shard serializes calls, so they need no locking of
-    their own.
+    ``pick`` sees the in-flight read counts of the *eligible*
+    candidates — the replicated shard filters out quarantined replicas
+    before calling, so a picker only ever chooses among healthy ones —
+    and a stable key for the query (its normalized text), and returns
+    an index **into that candidate list**.  Pickers may keep state (the
+    round-robin cursor); the replicated shard serializes calls, so they
+    need no locking of their own.
     """
 
     #: Registry name (also what ``describe()`` reports).
@@ -206,7 +257,11 @@ class RoundRobinPicker(ReadPicker):
 
     def pick(self, in_flight: list[int], query_key: str) -> int:
         choice = self._cursor % len(in_flight)
-        self._cursor += 1
+        # Advance modulo the candidate count: the cursor only ever needs
+        # to distinguish positions within one candidate list, and
+        # wrapping here keeps it bounded over a long-lived shard instead
+        # of growing by one per read forever.
+        self._cursor = (self._cursor + 1) % len(in_flight)
         return choice
 
 
@@ -256,6 +311,44 @@ def make_picker(picker: Union[str, ReadPicker]) -> ReadPicker:
 
 
 # ----------------------------------------------------------------------
+# Replica health
+# ----------------------------------------------------------------------
+#: The three states of the per-replica health machine.
+REPLICA_HEALTHY = "healthy"
+REPLICA_SUSPECT = "suspect"
+REPLICA_DEAD = "dead"
+REPLICA_STATES = (REPLICA_HEALTHY, REPLICA_SUSPECT, REPLICA_DEAD)
+
+
+@dataclass
+class ReplicaHealth:
+    """Mutable health record for one replica slot.
+
+    Driven by *consecutive* ``execute`` failures: ``suspect_after``
+    failures demote healthy → suspect, ``dead_after`` demote suspect →
+    dead (quarantine), and any success resets the streak and redeems a
+    suspect back to healthy.  Dead is terminal until
+    :meth:`ReplicatedShard.revive` replaces the slot.  Guarded by the
+    replicated shard's read lock, like the in-flight counters.
+    """
+
+    state: str = REPLICA_HEALTHY
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    last_error: Optional[str] = None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "successes": self.successes,
+            "last_error": self.last_error,
+        }
+
+
+# ----------------------------------------------------------------------
 # Replica sets
 # ----------------------------------------------------------------------
 class ReplicatedShard:
@@ -275,26 +368,61 @@ class ReplicatedShard:
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        probe_interval: int = 16,
     ) -> None:
         if replicas < 1:
             raise ValueError(f"need at least one replica, got {replicas}")
+        if not 1 <= suspect_after <= dead_after:
+            raise ValueError(
+                f"need 1 <= suspect_after <= dead_after, got "
+                f"{suspect_after} / {dead_after}"
+            )
+        if probe_interval < 1:
+            raise ValueError(f"probe_interval must be positive: {probe_interval}")
         self.index = index
         self.picker = make_picker(read_picker)
+        self._shard_options = dict(
+            plan_cache_size=plan_cache_size,
+            result_cache_size=result_cache_size,
+            result_cache_ttl=result_cache_ttl,
+        )
         self.replicas = [
-            Shard(
-                index,
-                plan_cache_size=plan_cache_size,
-                result_cache_size=result_cache_size,
-                result_cache_ttl=result_cache_ttl,
-            )
-            for _ in range(replicas)
+            Shard(index, **self._shard_options) for _ in range(replicas)
         ]
+        #: Consecutive read failures before healthy -> suspect / -> dead.
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        #: Every ``probe_interval``-th read is routed to a suspect
+        #: replica (if one exists) instead of the picker's choice, so a
+        #: suspect either redeems itself (success -> healthy) or
+        #: finishes dying (failures accumulate to ``dead_after``)
+        #: without a separate prober thread.
+        self.probe_interval = probe_interval
         #: Writes hold this across the whole write-through so replicas
         #: never diverge in id space; reads never take it.
         self.add_lock = threading.RLock()
         self._read_lock = threading.Lock()
         self._in_flight = [0] * replicas
         self.replica_reads = [0] * replicas
+        self._health = [ReplicaHealth() for _ in range(replicas)]
+        self._reads_since_probe = 0
+        #: Failover activity counters (``reads_retried`` /
+        #: ``replicas_failed`` / ``replicas_revived``), merged into
+        #: :meth:`stats_snapshot` next to the replicas' cost counters.
+        self.ops_stats = StatsCollector()
+        #: Counters of replicas retired by :meth:`revive`, folded in so
+        #: shard totals never decrease when a slot is replaced.
+        self._retired_stats = StatsCollector()
+        #: The shard's write log: every committed write in order, as
+        #: ``("add", unnumbered template Document)`` /
+        #: ``("remove", span start id)`` entries.  :meth:`revive`
+        #: replays it — adds *and* removals, because removals leave id
+        #: gaps a fresh add sequence would not reproduce — so a rebuilt
+        #: replica assigns exactly the primary's node ids.  Appended
+        #: under :attr:`add_lock` only.
+        self._oplog: list[tuple[str, object]] = []
 
     @property
     def primary(self) -> Shard:
@@ -339,33 +467,127 @@ class ReplicatedShard:
         use_result_cache: bool = True,
         **strategy_options,
     ) -> QueryResult:
-        """Route one read to the picker's replica.
+        """Route one read to a healthy replica, failing over on error.
 
-        The in-flight counters the least-loaded picker consults are
-        maintained around the replica call; every replica holds the
-        same documents with the same ids, so the answer is independent
-        of the choice.
+        The picker chooses among the healthy candidates only (the
+        in-flight counters it consults are maintained around the
+        replica call); every replica holds the same documents with the
+        same ids, so the answer is independent of the choice.  A
+        replica whose ``execute`` raises is demoted through the health
+        machine (suspect after :attr:`suspect_after` consecutive
+        failures, quarantined dead after :attr:`dead_after`) and the
+        read retries on the next candidate — the caller only sees an
+        error once every replica has been tried or quarantined.
         """
         query_key = query if isinstance(query, str) else query.to_xpath()
-        with self._read_lock:
-            choice = self.picker.pick(list(self._in_flight), query_key)
-            if not 0 <= choice < len(self.replicas):
-                raise DocumentError(
-                    f"read picker {self.picker.name!r} returned replica "
-                    f"{choice} outside [0, {len(self.replicas)})"
+        attempted: set[int] = set()
+        while True:
+            choice = self._pick_replica(query_key, attempted)
+            try:
+                result = self.replicas[choice].execute(
+                    query,
+                    strategy=strategy,
+                    use_result_cache=use_result_cache,
+                    **strategy_options,
                 )
+            except Exception as error:
+                attempted.add(choice)
+                if not self._record_read_failure(choice, error, attempted):
+                    raise
+                continue
+            finally:
+                self._finish_read(choice)
+            self._record_read_success(choice)
+            return result
+
+    def _pick_replica(self, query_key: str, exclude: set[int]) -> int:
+        """Choose (and charge) the replica slot for one read attempt.
+
+        Healthy candidates go to the picker; when none remain, suspect
+        replicas serve as a degraded fallback — dead replicas are never
+        eligible.  Every ``probe_interval``-th read is instead routed
+        to the first suspect replica so suspects see enough traffic to
+        redeem or die.  Raises when every replica is quarantined or
+        already attempted.
+        """
+        with self._read_lock:
+            healthy = [
+                slot
+                for slot, health in enumerate(self._health)
+                if health.state == REPLICA_HEALTHY and slot not in exclude
+            ]
+            suspect = [
+                slot
+                for slot, health in enumerate(self._health)
+                if health.state == REPLICA_SUSPECT and slot not in exclude
+            ]
+            choice: Optional[int] = None
+            if healthy and suspect:
+                self._reads_since_probe += 1
+                if self._reads_since_probe >= self.probe_interval:
+                    self._reads_since_probe = 0
+                    choice = suspect[0]
+            if choice is None:
+                candidates = healthy or suspect
+                if not candidates:
+                    raise DocumentError(
+                        f"shard {self.index} has no live replica left to "
+                        f"serve reads (all {len(self.replicas)} quarantined "
+                        f"or failed this query)"
+                    )
+                position = self.picker.pick(
+                    [self._in_flight[slot] for slot in candidates], query_key
+                )
+                if not 0 <= position < len(candidates):
+                    raise DocumentError(
+                        f"read picker {self.picker.name!r} returned position "
+                        f"{position} outside [0, {len(candidates)})"
+                    )
+                choice = candidates[position]
             self._in_flight[choice] += 1
             self.replica_reads[choice] += 1
-        try:
-            return self.replicas[choice].execute(
-                query,
-                strategy=strategy,
-                use_result_cache=use_result_cache,
-                **strategy_options,
+            return choice
+
+    def _finish_read(self, choice: int) -> None:
+        with self._read_lock:
+            self._in_flight[choice] -= 1
+
+    def _record_read_success(self, choice: int) -> None:
+        """Reset the failure streak; a success redeems a suspect."""
+        with self._read_lock:
+            health = self._health[choice]
+            health.consecutive_failures = 0
+            health.successes += 1
+            if health.state == REPLICA_SUSPECT:
+                health.state = REPLICA_HEALTHY
+
+    def _record_read_failure(
+        self, choice: int, error: Exception, attempted: set[int]
+    ) -> bool:
+        """Demote the failed replica; True when the read should retry."""
+        with self._read_lock:
+            health = self._health[choice]
+            health.consecutive_failures += 1
+            health.failures += 1
+            health.last_error = repr(error)
+            if (
+                health.state == REPLICA_HEALTHY
+                and health.consecutive_failures >= self.suspect_after
+            ):
+                health.state = REPLICA_SUSPECT
+            if (
+                health.state != REPLICA_DEAD
+                and health.consecutive_failures >= self.dead_after
+            ):
+                health.state = REPLICA_DEAD
+                self.ops_stats.replicas_failed += 1
+            retry = any(
+                slot not in attempted and health.state != REPLICA_DEAD
+                for slot, health in enumerate(self._health)
             )
-        finally:
-            with self._read_lock:
-                self._in_flight[choice] -= 1
+            if retry:
+                self.ops_stats.reads_retried += 1
+            return retry
 
     def oracle_ids(self, twig: TwigPattern) -> list[int]:
         return self.primary.oracle_ids(twig)
@@ -374,47 +596,86 @@ class ReplicatedShard:
     # Writes: through to every replica
     # ------------------------------------------------------------------
     def add_document(self, document: Document) -> Document:
-        """Write one document through to every replica.
+        """Write one document through to every live replica.
 
-        The primary takes ``document`` itself; each secondary takes a
-        :meth:`~repro.xmltree.document.Document.clone` (trees cannot be
-        shared between databases).  Identical add order means identical
-        node ids on every replica — asserted here, because a divergent
-        replica would serve wrong answers silently.
+        The primary takes ``document`` itself; each live secondary
+        takes a :meth:`~repro.xmltree.document.Document.clone` (trees
+        cannot be shared between databases).  Identical add order means
+        identical node ids on every replica.  The primary is the source
+        of truth: its write always lands (and is logged for
+        :meth:`revive`); a secondary whose write fails is quarantined
+        dead — to be re-synced later — rather than unwinding a write
+        the primary already committed.  Dead secondaries are skipped
+        entirely; they catch up on revive.
         """
         with self.add_lock:
             added = self.primary.add_document(document)
-            for replica in self.replicas[1:]:
-                replica.add_document(document.clone())
+            self._oplog.append(("add", document.clone()))
+            for position, replica in enumerate(self.replicas):
+                if position == 0 or self._is_dead(position):
+                    continue
+                try:
+                    replica.add_document(document.clone())
+                except Exception as error:  # repro-lint: ignore[RPR005] -- the primary write already landed; a failing secondary is quarantined for revive, not unwound
+                    self._quarantine(
+                        position, f"write-through add failed: {error!r}"
+                    )
             self._check_alignment()
             return added
 
     def remove_document(self, ref: Union[Document, str]) -> Document:
-        """Remove the same document (by its id span) from every replica."""
+        """Remove the same document (by its id span) from every live replica.
+
+        Mirrors :meth:`add_document`: the primary's removal is
+        authoritative and logged, dead secondaries are skipped, and a
+        secondary that fails its removal is quarantined for revive.
+        """
         with self.add_lock:
             primary_doc = self.primary.db.resolve_document(ref)
             span_start = primary_doc.first_id
             removed = self.primary.remove_document(primary_doc)
-            for replica in self.replicas[1:]:
-                replica.remove_document(replica.document_at(span_start))
+            self._oplog.append(("remove", span_start))
+            for position, replica in enumerate(self.replicas):
+                if position == 0 or self._is_dead(position):
+                    continue
+                try:
+                    replica.remove_document(replica.document_at(span_start))
+                except Exception as error:  # repro-lint: ignore[RPR005] -- the primary removal already landed; a failing secondary is quarantined for revive, not unwound
+                    self._quarantine(
+                        position, f"write-through remove failed: {error!r}"
+                    )
             self._check_alignment()
             return removed
 
     def build_index(self, name: str, **options):
+        """Build one index on every live replica (dead ones rebuild on revive)."""
         with self.add_lock:
-            built = [
-                replica.build_index(name, **options) for replica in self.replicas
-            ]
-            return built[0]
+            built = self.primary.build_index(name, **options)
+            for position, replica in enumerate(self.replicas):
+                if position == 0 or self._is_dead(position):
+                    continue
+                replica.build_index(name, **options)
+            return built
 
     def ensure_indexes_for(self, strategy_name: str) -> None:
         with self.add_lock:
-            for replica in self.replicas:
+            for position, replica in enumerate(self.replicas):
+                if position != 0 and self._is_dead(position):
+                    continue
                 replica.ensure_indexes_for(strategy_name)
 
     def invalidate(self, rebuilt: bool = True) -> None:
-        for replica in self.replicas:
-            replica.invalidate(rebuilt=rebuilt)
+        """Invalidate every replica's caches, atomically with writes.
+
+        Holds :attr:`add_lock` so the sweep cannot interleave with a
+        write-through: without it, replica 0 could be invalidated, a
+        concurrent ``add_document`` bump every replica's generation,
+        and the tail replicas then be invalidated again — leaving the
+        set at inconsistent cache generations.
+        """
+        with self.add_lock:
+            for replica in self.replicas:
+                replica.invalidate(rebuilt=rebuilt)
 
     def document_at(self, local_start: int) -> Document:
         return self.primary.document_at(local_start)
@@ -423,13 +684,91 @@ class ReplicatedShard:
         """Charge one completed move once (to the primary's collector)."""
         self.primary.note_move()
 
-    def _check_alignment(self) -> None:
-        watermarks = {replica.watermark for replica in self.replicas}
-        if len(watermarks) != 1:
+    def _is_dead(self, position: int) -> bool:
+        with self._read_lock:
+            return self._health[position].state == REPLICA_DEAD
+
+    def _quarantine(self, position: int, reason: str) -> None:
+        """Mark one secondary dead (idempotent); never the primary."""
+        if position == 0:
             raise DocumentError(
-                f"replicas of shard {self.index} diverged: "
-                f"watermarks {sorted(watermarks)}"
+                f"shard {self.index}: the primary replica cannot be "
+                f"quarantined ({reason})"
             )
+        with self._read_lock:
+            health = self._health[position]
+            if health.state != REPLICA_DEAD:
+                health.state = REPLICA_DEAD
+                health.last_error = reason
+                self.ops_stats.replicas_failed += 1
+
+    def _check_alignment(self) -> None:
+        """Quarantine any live secondary whose watermark left the primary's.
+
+        The primary is the reference: a secondary reporting a different
+        next-id watermark has diverged (it would assign different node
+        ids and serve wrong answers silently), so it is pulled from the
+        read pool and the write fan-out until revived — self-driving
+        containment instead of failing the write that detected it.
+        """
+        reference = self.primary.watermark
+        for position, replica in enumerate(self.replicas):
+            if position == 0 or self._is_dead(position):
+                continue
+            watermark = replica.watermark
+            if watermark != reference:
+                self._quarantine(
+                    position,
+                    f"diverged: watermark {watermark} != primary {reference}",
+                )
+
+    # ------------------------------------------------------------------
+    # Revive: re-sync a quarantined replica from the write log
+    # ------------------------------------------------------------------
+    def revive(self, replica_index: int) -> Shard:
+        """Rebuild one replica slot by replaying the shard's write log.
+
+        A fresh :class:`Shard` replays every committed write in order —
+        adds *and* removals, because removals leave id gaps that a
+        replay of only the surviving documents would not reproduce — so
+        it assigns exactly the primary's node ids; the primary's built
+        indexes are then rebuilt from their recorded build options.
+        The slot is swapped in under both locks and its health reset to
+        healthy; a fault injector wrapping the old replica is discarded
+        with it.  The retired replica's cost counters fold into
+        :meth:`stats_snapshot` so shard totals never decrease.  Works
+        on any slot (a read-dead primary re-syncs from the log the same
+        way).  Counted in ``replicas_revived``.
+        """
+        with self.add_lock:
+            if not 0 <= replica_index < len(self.replicas):
+                raise DocumentError(
+                    f"shard {self.index} has no replica {replica_index} "
+                    f"(replicas: {len(self.replicas)})"
+                )
+            fresh = Shard(self.index, **self._shard_options)
+            for action, payload in self._oplog:
+                if action == "add":
+                    fresh.add_document(payload.clone())
+                else:
+                    fresh.remove_document(fresh.document_at(payload))
+            for name in sorted(self.primary.engine.indexes):
+                fresh.build_index(
+                    name, **self.primary.engine.build_options.get(name, {})
+                )
+            if fresh.watermark != self.primary.watermark:
+                raise DocumentError(
+                    f"revive of shard {self.index} replica {replica_index} "
+                    f"replayed to watermark {fresh.watermark}, primary is "
+                    f"at {self.primary.watermark}"
+                )
+            with self._read_lock:
+                retired = self.replicas[replica_index]
+                self._retired_stats.merge(retired.stats)
+                self.replicas[replica_index] = fresh
+                self._health[replica_index] = ReplicaHealth()
+                self.ops_stats.replicas_revived += 1
+            return fresh
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -439,10 +778,21 @@ class ReplicatedShard:
         return self.primary.index_sizes_mb()
 
     def stats_snapshot(self) -> dict[str, int]:
-        """All replicas' counters folded through ``StatsCollector.merge``."""
+        """All replicas' counters folded through ``StatsCollector.merge``.
+
+        Includes the shard's own failover activity counters
+        (:attr:`ops_stats`) and the retired counters of replicas
+        replaced by :meth:`revive`, so operations activity rides the
+        same snapshot / merge / diff machinery as engine cost and the
+        merged totals never decrease across a revive.
+        """
         return (
             StatsCollector()
-            .merge(*(replica.stats for replica in self.replicas))
+            .merge(
+                self.ops_stats,
+                self._retired_stats,
+                *(replica.stats for replica in self.replicas),
+            )
             .snapshot()
         )
 
@@ -461,6 +811,23 @@ class ReplicatedShard:
         reports = [replica.service_report() for replica in self.replicas]
         return _sum_reports(reports)
 
+    def health_report(self) -> dict[str, object]:
+        """Health states and failover activity of the replica set."""
+        with self._read_lock:
+            states = [health.state for health in self._health]
+            detail = [health.describe() for health in self._health]
+            return {
+                "replicas": len(self.replicas),
+                "states": states,
+                "healthy": states.count(REPLICA_HEALTHY),
+                "suspect": states.count(REPLICA_SUSPECT),
+                "dead": states.count(REPLICA_DEAD),
+                "reads_retried": self.ops_stats.reads_retried,
+                "replicas_failed": self.ops_stats.replicas_failed,
+                "replicas_revived": self.ops_stats.replicas_revived,
+                "detail": detail,
+            }
+
     def describe(self) -> dict[str, object]:
         return {
             "documents": self.document_count,
@@ -469,6 +836,7 @@ class ReplicatedShard:
             "replicas": self.replica_count,
             "read_picker": self.picker.name,
             "replica_reads": list(self.replica_reads),
+            "health": self.health_report(),
             "service": self.service_report(),
         }
 
@@ -480,10 +848,10 @@ class ReplicatedShard:
         )
 
 
-#: Report keys that are configuration or ratios, not additive counters:
-#: identical across replicas (or meaningless to sum), so the summed
-#: report carries the primary's value.
-_NON_ADDITIVE_KEYS = frozenset({"max_size", "ttl_seconds", "hit_rate"})
+#: Report keys that are configuration, not additive counters: identical
+#: across replicas (or meaningless to sum), so the summed report
+#: carries the primary's value.
+_NON_ADDITIVE_KEYS = frozenset({"max_size", "ttl_seconds"})
 
 
 def _sum_reports(reports: list) -> dict[str, object]:
@@ -493,11 +861,16 @@ def _sum_reports(reports: list) -> dict[str, object]:
     per-strategy count maps merge), configuration keys
     (:data:`_NON_ADDITIVE_KEYS`) and non-numeric leaves come from the
     first report — booleans count as non-numeric configuration here.
+    Ratios are **recomputed** from the summed counters, never copied:
+    the primary's ``hit_rate`` is not the replica set's whenever
+    replicas diverge in traffic (a sticky picker guarantees they do).
     """
     merged: dict[str, object] = {}
     for key in {k for report in reports for k in report}:
         values = [report[key] for report in reports if key in report]
         first = values[0]
+        if key == "hit_rate":
+            continue  # recomputed below from the summed hits/misses
         if key in _NON_ADDITIVE_KEYS:
             merged[key] = first
         elif isinstance(first, dict):
@@ -506,4 +879,8 @@ def _sum_reports(reports: list) -> dict[str, object]:
             merged[key] = sum(values)
         else:
             merged[key] = first
+    if any("hit_rate" in report for report in reports):
+        hits = merged.get("hits", 0)
+        total = hits + merged.get("misses", 0)
+        merged["hit_rate"] = hits / total if total else 0.0
     return merged

@@ -59,6 +59,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence, Union
 
+from ..errors import DocumentError
 from ..planner.evaluator import QueryResult
 from ..query.parser import parse_xpath
 from ..query.twig import TwigPattern
@@ -66,6 +67,7 @@ from ..storage.stats import sum_snapshots
 from ..xmltree.document import Document
 from ..service.base import AUTO_STRATEGY, ServingFacade
 from .collection import (
+    AutoRebalancer,
     DocumentPlacement,
     RebalanceMove,
     RebalanceReport,
@@ -90,6 +92,13 @@ class ShardedQueryService(ServingFacade):
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
+        auto_rebalance: bool = False,
+        rebalance_policy: Union[str, PlacementPolicy, None] = None,
+        rebalance_high_watermark: float = 2.0,
+        rebalance_low_watermark: float = 1.25,
+        rebalance_interval: int = 8,
+        rebalance_min_documents: Optional[int] = None,
+        rebalance_background: bool = True,
     ) -> None:
         if collection is None:
             collection = ShardedCollection(
@@ -105,6 +114,24 @@ class ShardedQueryService(ServingFacade):
         self.executor = ThreadPoolExecutor(
             max_workers=max_workers or self.collection.num_shards,
             thread_name_prefix="shard",
+        )
+        #: The self-driving rebalance trigger; off unless
+        #: ``auto_rebalance=True``.  ``execute`` ticks it after every
+        #: query, so skew checks run *between* queries — never on a
+        #: scatter path — and a triggered ``rebalance(policy)`` runs on
+        #: the trigger's own background worker while queries keep
+        #: flowing (set ``rebalance_background=False`` to run it inline
+        #: on the triggering query's thread, which tests use for
+        #: determinism).
+        self.operations = AutoRebalancer(
+            self.collection,
+            policy=rebalance_policy,
+            high_watermark=rebalance_high_watermark,
+            low_watermark=rebalance_low_watermark,
+            check_interval=rebalance_interval,
+            min_documents=rebalance_min_documents,
+            background=rebalance_background,
+            enabled=auto_rebalance,
         )
         self.queries_executed = 0
         self._counter_lock = threading.Lock()
@@ -192,6 +219,26 @@ class ShardedQueryService(ServingFacade):
         """Prune retired placement spans (see :meth:`ShardedCollection.compact`)."""
         return self.collection.compact()
 
+    def revive_replica(self, shard_index: int, replica_index: int):
+        """Re-sync one quarantined replica from its shard's write log.
+
+        The recovery half of failover — see
+        :meth:`~repro.shard.replica.ReplicatedShard.revive`.  Raises
+        for a plain (unreplicated) shard.
+        """
+        if not 0 <= shard_index < self.collection.num_shards:
+            raise DocumentError(
+                f"shard index {shard_index} outside "
+                f"[0, {self.collection.num_shards})"
+            )
+        shard = self.collection.shards[shard_index]
+        reviver = getattr(shard, "revive", None)
+        if reviver is None:
+            raise DocumentError(
+                f"shard {shard_index} is not replicated; nothing to revive"
+            )
+        return reviver(replica_index)
+
     def build_index(self, name: str, **options) -> None:
         """Build one index of the family on every shard."""
         self.collection.build_index(name, **options)
@@ -234,6 +281,11 @@ class ShardedQueryService(ServingFacade):
         result = self._gather(xpath, strategy, targets, partials, started)
         with self._counter_lock:
             self.queries_executed += 1
+        # The between-queries heartbeat of the self-driving tier: the
+        # answer is already gathered, so a due skew check (and an
+        # inline-mode rebalance) delays only the turnaround of this
+        # call, never a scatter in flight.
+        self.operations.tick()
         return result
 
     def _target_shards(
@@ -354,15 +406,20 @@ class ShardedQueryService(ServingFacade):
     def _stats_snapshot(self):
         # A replicated shard's snapshot folds its replicas together via
         # StatsCollector.merge, so replica write amplification is priced.
-        return [shard.stats_snapshot() for shard in self.collection.shards]
+        # The trailing entry is the auto-rebalance trigger's own
+        # collector, so a batch that fires one shows it in its deltas.
+        snapshots = [shard.stats_snapshot() for shard in self.collection.shards]
+        snapshots.append(self.operations.stats.snapshot())
+        return snapshots
 
     def _stats_diff(self, before) -> dict[str, int]:
-        return sum_snapshots(
-            *(
-                shard.stats_diff(snapshot)
-                for shard, snapshot in zip(self.collection.shards, before)
-            )
-        )
+        *shard_snapshots, operations_snapshot = before
+        diffs = [
+            shard.stats_diff(snapshot)
+            for shard, snapshot in zip(self.collection.shards, shard_snapshots)
+        ]
+        diffs.append(self.operations.stats.diff(operations_snapshot))
+        return sum_snapshots(*diffs)
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
@@ -421,10 +478,25 @@ class ShardedQueryService(ServingFacade):
                 ),
             }
         report["queries_executed"] = self.queries_executed
+        report["operations"] = {
+            "auto_rebalance": self.operations.describe(),
+            "failover": self._failover_report(),
+        }
         return report
 
+    def _failover_report(self) -> dict[str, object]:
+        """Replica health and failover activity, aggregated over shards."""
+        per_shard = [shard.health_report() for shard in self.collection.shards]
+        return {
+            "per_shard": per_shard,
+            "reads_retried": sum(r["reads_retried"] for r in per_shard),
+            "replicas_failed": sum(r["replicas_failed"] for r in per_shard),
+            "replicas_revived": sum(r["replicas_revived"] for r in per_shard),
+        }
+
     def close(self) -> None:
-        """Shut down the scatter pool (idempotent)."""
+        """Drain the operations worker, then the scatter pool (idempotent)."""
+        self.operations.close()
         self.executor.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedQueryService":

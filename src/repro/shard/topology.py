@@ -172,6 +172,32 @@ class ShardTopology:
                 for spans in self._live_spans
             ]
 
+    def skew(self) -> dict[str, object]:
+        """Placement skew across shards — the auto-rebalance trigger input.
+
+        ``ratio`` is the heaviest shard's node weight over the
+        all-shard mean: 1.0 means perfectly flat, ``num_shards`` means
+        everything sits on one shard.  An empty topology reports 1.0
+        (nothing to balance).  Both ``live_counts`` and node weights
+        ride along so watermark policies (and ``describe()`` readers)
+        can consult either measure from one consistent snapshot — all
+        three values come from a single critical section.
+        """
+        with self._lock:
+            counts = [len(spans) for spans in self._live_spans]
+            weights = [
+                sum(placement.node_count for placement in spans)
+                for spans in self._live_spans
+            ]
+        total = sum(weights)
+        ratio = (max(weights) * self._num_shards / total) if total else 1.0
+        return {
+            "live_counts": counts,
+            "node_weights": weights,
+            "total_nodes": total,
+            "ratio": ratio,
+        }
+
     # ------------------------------------------------------------------
     # Routing mutations
     # ------------------------------------------------------------------

@@ -120,6 +120,17 @@ class StatsCollector:
     #: movement activity aggregates through the same snapshot / merge /
     #: diff machinery as every other counter.
     documents_moved: int = 0
+    #: Operations counters of the self-driving tier (replica failover
+    #: and watermark-triggered auto-rebalance).  Like
+    #: ``documents_moved`` they are activity records, not cost terms —
+    #: the work a retry or a rebalance performs is already charged
+    #: through the read/maintenance counters above — but carrying them
+    #: here means failover and auto-rebalance activity flows through
+    #: the same snapshot / merge / diff machinery as everything else.
+    reads_retried: int = 0
+    replicas_failed: int = 0
+    replicas_revived: int = 0
+    auto_rebalances: int = 0
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

@@ -1,0 +1,566 @@
+"""Failover & self-driving operations: fault injection, revive, auto-rebalance.
+
+The operations loop of the distributed tier, exercised deterministically
+through :mod:`repro.faults` (seeded plans, call-count scheduling, no
+wall-clock randomness anywhere):
+
+* **fault plans and the injector proxy** — schedules validate, seeds
+  reproduce, and the injector raises / delays / drifts exactly at the
+  scheduled calls while delegating everything else;
+* **the health state machine** — consecutive read failures demote a
+  replica healthy → suspect → dead, reads retry on the next healthy
+  replica (the caller never sees a survivable fault), pickers never
+  select a dead replica, probation traffic redeems a recovered suspect;
+* **the differential pin** — a seeded plan killing one replica of a
+  3-replica shard mid-workload leaves every query answer bit-identical
+  to a never-faulted single engine;
+* **revive / re-sync** — a quarantined replica that missed writes is
+  rebuilt from the shard's write log (adds *and* removals, so id gaps
+  reproduce) and passes the alignment check;
+* **watermark-triggered auto-rebalance** — the hysteresis band fires
+  ``rebalance(policy)`` exactly once per sustained skew episode;
+* **the satellite regressions** — ``invalidate`` under the write lock,
+  ``_sum_reports`` recomputing ``hit_rate`` from summed counters, the
+  bounded round-robin cursor, and the first-id index behind
+  ``document_at``.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+
+import pytest
+
+from repro import ShardedQueryService, TwigIndexDatabase
+from repro.datasets import generate_xmark
+from repro.errors import DocumentError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    inject,
+)
+from repro.service.cache import LRUCache
+from repro.shard import (
+    REPLICA_DEAD,
+    REPLICA_HEALTHY,
+    REPLICA_SUSPECT,
+    AutoRebalancer,
+    ReplicatedShard,
+    RoundRobinPicker,
+    ShardedCollection,
+)
+from repro.shard.replica import _sum_reports
+
+XPATH = "/site/people/person/name"
+
+
+def _doc(i: int, scale: float = 0.01):
+    return generate_xmark(scale=scale, seed=700 + i, name=f"doc-{i}")
+
+
+def _replicated(replicas: int = 3, **options) -> ReplicatedShard:
+    shard = ReplicatedShard(0, replicas=replicas, **options)
+    for i in range(2):
+        shard.add_document(_doc(i))
+    shard.build_index("rootpaths")
+    return shard
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+def test_fault_plan_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(call=0)
+    with pytest.raises(ValueError):
+        FaultEvent(call=1, kind="meteor")
+    with pytest.raises(ValueError):
+        FaultEvent(call=1, kind="slow", delay_seconds=0.0)
+    with pytest.raises(ValueError):
+        FaultEvent(call=1, kind="diverge", drift=0)
+    with pytest.raises(ValueError):  # two faults on one call
+        FaultPlan([FaultEvent(call=3), FaultEvent(call=3, kind="slow", delay_seconds=1)])
+    with pytest.raises(ValueError):
+        FaultPlan.seeded(seed=1, horizon=10, rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan.seeded(seed=1, horizon=10, rate=0.5, kinds=("meteor",))
+
+
+def test_seeded_plans_are_reproducible_and_wall_clock_free():
+    first = FaultPlan.seeded(seed=42, horizon=200, rate=0.15, kinds=FAULT_KINDS)
+    second = FaultPlan.seeded(seed=42, horizon=200, rate=0.15, kinds=FAULT_KINDS)
+    assert first.events == second.events
+    assert len(first) > 0
+    assert all(1 <= event.call <= 200 for event in first.events)
+    other = FaultPlan.seeded(seed=43, horizon=200, rate=0.15, kinds=FAULT_KINDS)
+    assert first.events != other.events
+
+
+def test_injector_fires_exactly_at_scheduled_calls_and_delegates():
+    class Surface:
+        watermark = 17
+
+        def __init__(self):
+            self.calls = 0
+
+        def execute(self, xpath):
+            self.calls += 1
+            return f"answer-{self.calls}"
+
+        def describe(self):
+            return {"kind": "surface"}
+
+    slept: list[float] = []
+    surface = Surface()
+    plan = FaultPlan(
+        [
+            FaultEvent(call=2, kind="error"),
+            FaultEvent(call=4, kind="slow", delay_seconds=0.25),
+            FaultEvent(call=5, kind="diverge", drift=3),
+        ]
+    )
+    injector = FaultInjector(surface, plan, sleep=slept.append)
+
+    assert injector.execute("q") == "answer-1"
+    with pytest.raises(InjectedFault):
+        injector.execute("q")
+    assert surface.calls == 1  # the faulted call never reached the surface
+    assert injector.watermark == 17
+    assert injector.execute("q") == "answer-2"
+    assert injector.execute("q") == "answer-3" and slept == [0.25]
+    injector.execute("q")
+    assert injector.watermark == 17 + 3  # diverge drift is permanent
+    assert injector.calls_seen == 5
+    assert [event.kind for event in injector.fired] == ["error", "slow", "diverge"]
+    assert injector.describe() == {"kind": "surface"}  # transparent proxy
+
+
+# ----------------------------------------------------------------------
+# Health machine: retry, quarantine, probation
+# ----------------------------------------------------------------------
+def test_failed_read_retries_on_next_replica_and_caller_sees_no_error():
+    shard = _replicated()
+    expected = shard.primary.service.execute(XPATH, strategy="rootpaths").ids
+    inject(shard, 1, FaultPlan.failing_at(1))
+    for _ in range(6):
+        assert shard.execute(XPATH, strategy="rootpaths").ids == expected
+    report = shard.health_report()
+    assert report["reads_retried"] >= 1
+    assert shard.ops_stats.reads_retried >= 1
+
+
+def test_picker_never_selects_a_dead_replica():
+    # dead_after=1: the first failure quarantines the replica outright.
+    shard = _replicated(dead_after=1)
+    injector = inject(shard, 1, FaultPlan.failing_at(*range(1, 1000)))
+    expected = shard.primary.service.execute(XPATH, strategy="rootpaths").ids
+    for _ in range(30):
+        assert shard.execute(XPATH, strategy="rootpaths").ids == expected
+    report = shard.health_report()
+    assert report["states"][1] == REPLICA_DEAD
+    assert report["replicas_failed"] == 1
+    # Exactly one read ever reached the dead replica: the one that
+    # killed it.  Everything after routed around the quarantine.
+    assert injector.calls_seen == 1
+    assert shard.replica_reads[1] == 1
+
+
+def test_consecutive_failures_walk_healthy_suspect_dead():
+    shard = _replicated(suspect_after=1, dead_after=2, probe_interval=2)
+    inject(shard, 2, FaultPlan.failing_at(*range(1, 1000)))
+    seen: list[str] = []
+    for _ in range(8):  # round-robin reaches the faulted replica, then probes it
+        shard.execute(XPATH)
+        seen.append(shard.health_report()["states"][2])
+    assert REPLICA_SUSPECT in seen  # demoted before it died
+    assert seen[-1] == REPLICA_DEAD
+    # The walk is monotone: healthy* suspect* dead*.
+    order = {REPLICA_HEALTHY: 0, REPLICA_SUSPECT: 1, REPLICA_DEAD: 2}
+    assert [order[state] for state in seen] == sorted(order[state] for state in seen)
+
+
+def test_probation_redeems_a_suspect_that_recovers():
+    # The replica fails exactly once; the probe interval then routes a
+    # read back to it, and the success redeems it to healthy.
+    shard = _replicated(suspect_after=1, dead_after=3, probe_interval=4)
+    inject(shard, 1, FaultPlan.failing_at(1))
+    while shard.health_report()["states"][1] == REPLICA_HEALTHY:
+        shard.execute(XPATH)  # round-robin reaches the fault within a cycle
+    assert shard.health_report()["states"][1] == REPLICA_SUSPECT
+    for _ in range(2 * 4):  # at least one probe window passes
+        shard.execute(XPATH)
+    report = shard.health_report()
+    assert report["states"][1] == REPLICA_HEALTHY
+    assert report["detail"][1]["successes"] >= 1
+
+
+def test_all_replicas_dead_surfaces_an_error():
+    shard = _replicated(replicas=2, dead_after=1)
+    inject(shard, 0, FaultPlan.failing_at(*range(1, 100)))
+    inject(shard, 1, FaultPlan.failing_at(*range(1, 100)))
+    with pytest.raises((DocumentError, InjectedFault)):
+        for _ in range(4):
+            shard.execute(XPATH)
+    with pytest.raises(DocumentError):
+        shard.execute(XPATH)  # both quarantined: no live replica left
+
+
+def test_divergent_secondary_is_quarantined_by_the_alignment_check():
+    shard = _replicated()
+    injector = inject(shard, 2, FaultPlan.diverging_at(1, drift=5))
+    while not injector.fired:  # round-robin reaches replica 2 within a cycle
+        shard.execute(XPATH)  # arms the drift on replica 2's watermark
+    shard.add_document(_doc(7))  # write-through alignment catches it
+    report = shard.health_report()
+    assert report["states"][2] == REPLICA_DEAD
+    assert "diverged" in report["detail"][2]["last_error"]
+    assert report["replicas_failed"] == 1
+    # The healthy replicas still agree and still serve.
+    assert shard.replicas[0].watermark == shard.replicas[1].watermark
+    shard.execute(XPATH)
+
+
+# ----------------------------------------------------------------------
+# The differential pin: seeded mid-workload kill vs a single engine
+# ----------------------------------------------------------------------
+def test_seeded_replica_kill_mid_workload_answers_identical_to_single_engine():
+    parameters = [(0.015, 11), (0.02, 12), (0.015, 13)]
+
+    def documents():
+        return [
+            generate_xmark(scale=scale, seed=seed, name=f"doc-{i}")
+            for i, (scale, seed) in enumerate(parameters)
+        ]
+
+    single = TwigIndexDatabase.from_documents(documents())
+    single.build_index("rootpaths")
+    sharded = ShardedQueryService.from_documents(
+        documents(), num_shards=2, placement="hash", replicas=3
+    )
+    sharded.build_index("rootpaths")
+
+    plan = FaultPlan.seeded(seed=20260808, horizon=30, rate=0.4)
+    injectors = [
+        inject(sharded.collection.shards[0], 1, plan),
+        inject(sharded.collection.shards[1], 2, plan),
+    ]
+    workload = [
+        XPATH,
+        "//person[name='Hagen Artosi']",
+        "/site/open_auctions/open_auction/time",
+        "//item[location]",
+    ]
+    for round_number in range(8):
+        for xpath in workload:
+            expected = single.service.execute(xpath, strategy="rootpaths").ids
+            got = sharded.execute(
+                xpath, strategy="rootpaths", use_result_cache=round_number % 2 == 0
+            ).ids
+            assert got == expected, xpath
+    # The faults really fired and the tier really failed over.
+    assert any(injector.fired for injector in injectors)
+    failover = sharded.describe()["operations"]["failover"]
+    assert failover["reads_retried"] >= 1
+    sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Revive / re-sync
+# ----------------------------------------------------------------------
+def test_revive_replays_the_write_log_through_removal_gaps():
+    shard = _replicated(dead_after=1)
+    shard.remove_document("doc-0")  # leaves an id gap in the replay
+    inject(shard, 1, FaultPlan.failing_at(*range(1, 100)))
+    for _ in range(4):
+        shard.execute(XPATH)
+    assert shard.health_report()["states"][1] == REPLICA_DEAD
+    # Writes land while the replica is quarantined: it misses them.
+    shard.add_document(_doc(5))
+    assert shard.replicas[1].watermark != shard.primary.watermark
+
+    revived = shard.revive(1)
+    assert shard.replicas[1] is revived  # injector discarded with the slot
+    assert revived.watermark == shard.primary.watermark
+    assert revived.document_count == shard.primary.document_count
+    assert sorted(revived.engine.indexes) == sorted(shard.primary.engine.indexes)
+    # The rebuilt replica assigns exactly the primary's node ids.
+    assert (
+        revived.service.execute(XPATH, strategy="rootpaths").ids
+        == shard.primary.service.execute(XPATH, strategy="rootpaths").ids
+    )
+    report = shard.health_report()
+    assert report["states"][1] == REPLICA_HEALTHY
+    assert report["replicas_revived"] == 1
+    # The next write-through alignment check passes with all replicas.
+    shard.add_document(_doc(6))
+    assert len({replica.watermark for replica in shard.replicas}) == 1
+
+
+def test_revive_is_monotone_in_the_merged_stats():
+    shard = _replicated(dead_after=1)
+    inject(shard, 1, FaultPlan.failing_at(*range(1, 100)))
+    for _ in range(3):
+        shard.execute(XPATH)
+    before = shard.stats_snapshot()
+    shard.revive(1)
+    after = shard.stats_snapshot()
+    assert all(after[key] >= value for key, value in before.items())
+    assert after["replicas_revived"] == 1
+
+
+def test_service_revive_passthrough_and_validation():
+    service = ShardedQueryService.from_documents(
+        [_doc(0), _doc(1)], num_shards=2, placement="round_robin", replicas=2
+    )
+    revived = service.revive_replica(0, 1)
+    assert revived.watermark == service.collection.shards[0].primary.watermark
+    with pytest.raises(DocumentError):
+        service.revive_replica(7, 0)
+    with pytest.raises(DocumentError):
+        service.revive_replica(0, 9)
+    service.close()
+    plain = ShardedQueryService.from_documents([_doc(0)], num_shards=1)
+    with pytest.raises(DocumentError):
+        plain.revive_replica(0, 0)  # not replicated
+    plain.close()
+
+
+# ----------------------------------------------------------------------
+# Watermark-triggered auto-rebalance
+# ----------------------------------------------------------------------
+def _colliding_name(base: str, num_shards: int) -> str:
+    """A document name whose CRC32 routes to shard 0."""
+    for salt in range(10_000):
+        name = f"{base}-{salt}"
+        if zlib.crc32(name.encode("utf-8")) % num_shards == 0:
+            return name
+    raise AssertionError("no colliding name found")  # pragma: no cover
+
+
+def _skewed_collection(num_docs: int = 6) -> ShardedCollection:
+    collection = ShardedCollection(num_shards=2, placement="hash")
+    for i in range(num_docs):
+        collection.add_document(
+            generate_xmark(scale=0.01, seed=500 + i, name=_colliding_name(f"s-{i}", 2))
+        )
+    return collection
+
+
+def test_auto_rebalance_fires_exactly_once_per_sustained_skew_episode():
+    collection = _skewed_collection()
+    # policy="hash" re-places the colliding corpus right back onto shard
+    # 0, so the skew *stays* at the high watermark after the fire — the
+    # sustained-episode case the hysteresis band must not re-fire on.
+    auto = AutoRebalancer(
+        collection,
+        policy="hash",
+        high_watermark=2.0,
+        low_watermark=1.25,
+        check_interval=1,
+        background=False,
+        enabled=True,
+    )
+    assert auto.check()["fired"]
+    for _ in range(5):
+        assert not auto.check()["fired"]  # skew still high, trigger disarmed
+    assert auto.stats.auto_rebalances == 1
+
+    # The episode ends only when measured skew drains below the low
+    # watermark; the next check re-arms without firing.
+    collection.rebalance("size_balanced")
+    record = auto.check()
+    assert not record["fired"]
+    assert auto.describe()["armed"]
+
+    # A second sustained episode fires exactly once more.
+    for placement in collection.placements():
+        collection.move_document(placement, 0)
+    assert auto.check()["fired"]
+    for _ in range(5):
+        assert not auto.check()["fired"]
+    assert auto.stats.auto_rebalances == 2
+    assert auto.describe()["episodes_total"] == 2
+    auto.close()
+
+
+def test_auto_rebalance_respects_min_documents_and_hysteresis_band():
+    collection = _skewed_collection(num_docs=2)  # ratio 2.0 but tiny corpus
+    auto = AutoRebalancer(
+        collection, check_interval=1, background=False, enabled=True
+    )
+    assert collection.topology.skew()["ratio"] == 2.0
+    assert not auto.check()["fired"]  # below min_documents (2 * num_shards)
+    with pytest.raises(ValueError):
+        AutoRebalancer(collection, high_watermark=1.2, low_watermark=1.5)
+    with pytest.raises(ValueError):
+        AutoRebalancer(collection, check_interval=0)
+    auto.close()
+
+
+def test_service_drives_auto_rebalance_between_queries():
+    documents = [
+        generate_xmark(scale=0.01, seed=300 + i, name=_colliding_name(f"q-{i}", 2))
+        for i in range(6)
+    ]
+    service = ShardedQueryService.from_documents(
+        documents,
+        num_shards=2,
+        placement="hash",
+        auto_rebalance=True,
+        rebalance_interval=2,
+        rebalance_background=False,  # inline, so assertions are deterministic
+    )
+    service.build_index("rootpaths")
+    assert service.collection.topology.skew()["ratio"] == 2.0
+    expected = service.oracle(XPATH)
+    for _ in range(8):
+        assert service.execute(XPATH, use_result_cache=False).ids == expected
+    operations = service.describe()["operations"]["auto_rebalance"]
+    assert operations["auto_rebalances"] == 1  # once, not once per check
+    assert operations["episodes_total"] == 1
+    assert operations["last_skew"]["ratio"] < 1.25  # skew drained
+    weights = service.collection.topology.shard_node_weights()
+    assert all(weight > 0 for weight in weights)
+    # The activity counter rides the shared stats machinery.
+    assert service._stats_snapshot()[-1]["auto_rebalances"] == 1
+    service.close()
+
+
+def test_disabled_auto_rebalance_never_checks():
+    service = ShardedQueryService.from_documents(
+        [_doc(0), _doc(1)], num_shards=2, placement="hash"
+    )
+    for _ in range(5):
+        service.execute(XPATH)
+    operations = service.describe()["operations"]["auto_rebalance"]
+    assert not operations["enabled"]
+    assert operations["checks"] == 0
+    assert operations["auto_rebalances"] == 0
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite regressions
+# ----------------------------------------------------------------------
+def test_invalidate_takes_the_write_lock():
+    shard = _replicated(replicas=2)
+    finished = threading.Event()
+
+    def invalidate():
+        shard.invalidate(rebuilt=False)
+        finished.set()
+
+    with shard.add_lock:
+        worker = threading.Thread(target=invalidate)
+        worker.start()
+        assert not finished.wait(0.15)  # blocked behind the write lock
+    worker.join(timeout=5)
+    assert finished.is_set()
+
+
+def test_invalidate_racing_write_through_leaves_replicas_consistent():
+    shard = _replicated(replicas=3)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def sweep():
+        try:
+            while not stop.is_set():
+                shard.invalidate(rebuilt=False)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    sweeper = threading.Thread(target=sweep)
+    sweeper.start()
+    try:
+        for i in range(8):
+            shard.add_document(_doc(20 + i, scale=0.005))
+    finally:
+        stop.set()
+        sweeper.join(timeout=10)
+    assert not errors
+    # No torn interleaving: replicas aligned, healthy, answers equal.
+    assert len({replica.watermark for replica in shard.replicas}) == 1
+    assert shard.health_report()["dead"] == 0
+    answers = {
+        tuple(replica.service.execute(XPATH, strategy="rootpaths").ids)
+        for replica in shard.replicas
+    }
+    assert len(answers) == 1
+
+
+def test_sum_reports_recomputes_hit_rate_from_summed_counters():
+    reports = [
+        {"hits": 9, "misses": 1, "hit_rate": 0.9, "max_size": 64},
+        {"hits": 0, "misses": 10, "hit_rate": 0.0, "max_size": 64},
+    ]
+    merged = _sum_reports(reports)
+    assert merged["hits"] == 9 and merged["misses"] == 11
+    assert merged["hit_rate"] == pytest.approx(0.45)  # not the primary's 0.9
+    assert merged["max_size"] == 64
+    nested = _sum_reports([{"cache": r} for r in reports])
+    assert nested["cache"]["hit_rate"] == pytest.approx(0.45)
+
+
+def test_replicated_shard_hit_rate_reflects_all_replicas():
+    # Sticky affinity drives all traffic for one query to one replica;
+    # the shard-level rate must fold every replica's counters, not copy
+    # the primary's.
+    shard = _replicated(read_picker="sticky")
+    for _ in range(6):
+        shard.execute(XPATH)
+    report = shard.service_report()["result_cache"]
+    assert report["hit_rate"] == pytest.approx(
+        report["hits"] / (report["hits"] + report["misses"])
+    )
+
+
+def test_round_robin_cursor_stays_bounded():
+    picker = RoundRobinPicker()
+    picks = [picker.pick([0, 0, 0], "q") for _ in range(1000)]
+    assert picks[:6] == [0, 1, 2, 0, 1, 2]  # the cycle is unchanged
+    assert picker._cursor < 3
+
+
+def test_lru_hit_rate_is_read_under_the_lock():
+    cache = LRUCache(max_size=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    assert cache.hit_rate == pytest.approx(0.5)
+    # Concurrent readers always observe a rate a consistent counter
+    # pair could produce.
+    stop = threading.Event()
+    rates: list[float] = []
+
+    def read():
+        while not stop.is_set():
+            rates.append(cache.hit_rate)
+
+    reader = threading.Thread(target=read)
+    reader.start()
+    try:
+        for i in range(2000):
+            cache.put(i % 8, i)
+            cache.get(i % 8)
+    finally:
+        stop.set()
+        reader.join(timeout=10)
+    assert all(0.0 <= rate <= 1.0 for rate in rates)
+
+
+def test_document_at_index_tracks_add_remove_churn():
+    shard = _replicated(replicas=1)
+    first = shard.primary.db.documents[0]
+    assert shard.document_at(first.first_id) is first
+    removed = shard.remove_document("doc-0")
+    with pytest.raises(DocumentError):
+        shard.document_at(removed.first_id)
+    added = shard.add_document(_doc(9))
+    assert shard.document_at(added.first_id) is added
+    with pytest.raises(DocumentError):
+        shard.document_at(10**9)
