@@ -50,6 +50,7 @@ from .placement import (
 )
 from .replica import (
     LeastLoadedPicker,
+    QUERY_ERRORS,
     READ_PICKERS,
     REPLICA_DEAD,
     REPLICA_HEALTHY,
@@ -72,6 +73,7 @@ __all__ = [
     "LeastLoadedPicker",
     "PLACEMENT_POLICIES",
     "PlacementPolicy",
+    "QUERY_ERRORS",
     "READ_PICKERS",
     "REPLICA_DEAD",
     "REPLICA_HEALTHY",

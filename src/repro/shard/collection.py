@@ -363,9 +363,21 @@ class ShardedCollection:
         weights = [0] * self.num_shards
         moves: list[RebalanceMove] = []
         for placement in self.topology.placements():
-            document = self.shards[placement.shard_index].document_at(
-                placement.local_start
-            )
+            try:
+                document = self.shards[placement.shard_index].document_at(
+                    placement.local_start
+                )
+            except DocumentError:
+                # A removal or move racing the plan can retire the
+                # placement (and detach its shard-side document) at any
+                # point after the placements() snapshot.  Planning
+                # mutates nothing, so skip the placement rather than
+                # fail the whole plan — which, from a background
+                # auto-rebalance, would fail an unrelated caller.  A
+                # placement that is live but genuinely unresolvable
+                # still surfaces at move time, which re-checks liveness
+                # under the shard locks.
+                continue
             target = chosen.choose(document, placement.ordinal, weights)
             if not 0 <= target < self.num_shards:
                 raise DocumentError(
@@ -545,7 +557,11 @@ class AutoRebalancer:
     function of the routing table.  Activity lands in ``stats``
     (``auto_rebalances``, merged into the service's cost accounting)
     and a bounded episode log surfaced by :meth:`describe` under the
-    service's ``operations`` key.
+    service's ``operations`` key.  A rebalance that *fails* is recorded
+    the same way (``auto_rebalance_failures`` / ``last_error`` /
+    the episode's ``error`` field) and never raises into the query
+    path that happened to tick afterwards — background operations
+    failures are status, not answers.
     """
 
     #: Bound on the episode log kept for ``describe()``.
@@ -585,6 +601,10 @@ class AutoRebalancer:
         self.enabled = enabled
         self.stats = StatsCollector()
         self.last_report: Optional[RebalanceReport] = None
+        #: ``repr`` of the most recent run's exception, ``None`` after a
+        #: success — the status surface for background failures.
+        self.last_error: Optional[str] = None
+        self._failures = 0
         self._lock = threading.Lock()
         self._armed = True
         self._ticks = 0
@@ -619,12 +639,14 @@ class AutoRebalancer:
 
         Public so tests (and operators) can force a check without
         queueing ``check_interval`` queries.  Also reaps a finished
-        background run, propagating any exception it raised.
+        background run (its outcome — success or failure — was already
+        recorded by the run itself; nothing raises here).
         """
         self._reap()
         skew = self.collection.topology.skew()
         ratio = float(skew["ratio"])
         fired = False
+        run_inline = False
         with self._lock:
             self._checks += 1
             self._last_skew = skew
@@ -644,59 +666,74 @@ class AutoRebalancer:
                     {"episode": self._episodes_total, "trigger_ratio": ratio}
                 )
                 del self._episodes[: -self.MAX_EPISODES]
-        if fired:
-            self._fire()
+                if self._executor is not None:
+                    # Submitted inside the same locked section that
+                    # disarmed the trigger: the future is published
+                    # atomically with the firing decision, so a
+                    # drain()/close() racing this check either sees no
+                    # fire or sees the in-flight run — never a
+                    # fired-but-unpublished window it could return
+                    # through with stale state.
+                    # repro-lint: ignore[RPR005] -- published to self._pending; _reap/drain()/close() consume it
+                    self._pending = self._executor.submit(self._run)
+                else:
+                    run_inline = True
+        if run_inline:
+            self._run()
         return {"ratio": ratio, "fired": fired, "armed_after": not fired}
 
-    def _fire(self) -> None:
-        """Launch the triggered rebalance (background worker or inline)."""
-        if self._executor is None:
-            self._run()
-            return
-        with self._lock:
-            stale = self._pending
-            self._pending = None
-        if stale is not None:
-            # Defensive: the firing gate keeps at most one run in
-            # flight, but never lose a future's outcome if that changes.
-            stale.result()
-        future = self._executor.submit(self._run)
-        with self._lock:
-            self._pending = future
-
     def _run(self) -> None:
-        report = self.collection.rebalance(self.policy)
+        """One triggered rebalance; records its own outcome, never raises.
+
+        A failure must not escape: in background mode it would land in
+        a future whose ``result()`` is called from a later query's tick
+        path, failing an unrelated caller whose answer was already
+        gathered.  Instead both outcomes are recorded under the lock
+        and surfaced through :meth:`describe` (``auto_rebalances`` /
+        ``auto_rebalance_failures`` / ``last_error`` and the episode
+        log).
+        """
+        try:
+            report = self.collection.rebalance(self.policy)
+        except Exception as error:  # repro-lint: ignore[RPR005] -- recorded and surfaced via describe(); a background operations failure must not fail an unrelated query caller
+            with self._lock:
+                self._failures += 1
+                self.last_error = repr(error)
+                if self._episodes:
+                    self._episodes[-1]["error"] = repr(error)
+            return
         with self._lock:
             self.stats.auto_rebalances += 1
             self.last_report = report
+            self.last_error = None
             if self._episodes:
                 self._episodes[-1]["report"] = dataclasses.asdict(report)
 
     def _reap(self) -> None:
-        """Consume a finished background run, re-raising its exception.
+        """Clear a finished background run so the firing gate re-opens.
 
-        A failed background rebalance would otherwise vanish; instead
-        its error surfaces on the next check (i.e. to a query caller),
-        which is loud enough for a test tier with no logging substrate.
+        Pure bookkeeping: :meth:`_run` records its own success or
+        failure, so there is no exception to propagate — a background
+        failure surfaces through :meth:`describe`, never through the
+        query whose tick happened to reap it.
         """
         with self._lock:
-            future = self._pending
-            if future is None or not future.done():
-                return
-            self._pending = None
-        future.result()
+            if self._pending is not None and self._pending.done():
+                self._pending = None
 
     def drain(self) -> Optional[RebalanceReport]:
         """Block until any in-flight background rebalance completes.
 
         Returns the latest completed report (tests call this to make
         'the rebalance has happened' deterministic before asserting).
+        Never raises: a failed run records itself and shows up in
+        :meth:`describe` instead.
         """
         with self._lock:
             future = self._pending
             self._pending = None
         if future is not None:
-            future.result()
+            future.result()  # waits only; _run never raises
         with self._lock:
             return self.last_report
 
@@ -723,6 +760,8 @@ class AutoRebalancer:
                 "ticks": self._ticks,
                 "checks": self._checks,
                 "auto_rebalances": self.stats.auto_rebalances,
+                "auto_rebalance_failures": self._failures,
+                "last_error": self.last_error,
                 "episodes_total": self._episodes_total,
                 "last_skew": self._last_skew,
                 "episodes": [dict(episode) for episode in self._episodes],

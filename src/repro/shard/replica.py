@@ -30,7 +30,10 @@ the same shard surface, for read scale-out past one engine per shard:
   in the same currency as everything else;
 * **failures are survived, not propagated** — every replica carries a
   health state machine (``healthy`` → ``suspect`` → ``dead``, driven by
-  consecutive ``execute`` failures), reads that fail are retried on the
+  consecutive *infrastructure* ``execute`` failures; deterministic
+  query errors (:data:`QUERY_ERRORS`) fail identically on every
+  replica, so they re-raise to the caller without demoting anything),
+  reads that fail are retried on the
   next healthy replica (:data:`~repro.storage.stats.StatsCollector`
   counters ``reads_retried`` / ``replicas_failed`` /
   ``replicas_revived`` record the activity), pickers only see healthy
@@ -57,7 +60,13 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..errors import DocumentError
+from ..errors import (
+    DocumentError,
+    IndexError_,
+    PlanningError,
+    QueryNotSupportedError,
+    QueryParseError,
+)
 from ..planner.evaluator import QueryResult, TwigQueryEngine
 from ..query.match import NaiveMatcher
 from ..query.twig import TwigPattern
@@ -65,6 +74,25 @@ from ..service.base import AUTO_STRATEGY
 from ..service.service import QueryService
 from ..storage.stats import StatsCollector
 from ..xmltree.document import Document, XmlDatabase
+
+#: Deterministic, query-attributable error types.  Replicas hold the
+#: same documents with the same ids and the same indexes, so a query
+#: that raises one of these fails identically on *every* replica: the
+#: failure says nothing about the replica's health, and retrying it
+#: elsewhere cannot succeed.  :meth:`ReplicatedShard.execute` re-raises
+#: them untouched — demoting on them would let one bad query, repeated
+#: ``dead_after`` times, walk the whole replica set (primary included)
+#: to dead and turn a caller mistake into a permanent shard read
+#: outage.  Infrastructure faults (anything else a replica raises,
+#: e.g. :class:`~repro.faults.InjectedFault`) still drive the health
+#: machine.
+QUERY_ERRORS = (
+    QueryParseError,
+    QueryNotSupportedError,
+    PlanningError,
+    IndexError_,
+    DocumentError,
+)
 
 
 class Shard:
@@ -232,15 +260,24 @@ class ReadPicker:
     candidates — the replicated shard filters out quarantined replicas
     before calling, so a picker only ever chooses among healthy ones —
     and a stable key for the query (its normalized text), and returns
-    an index **into that candidate list**.  Pickers may keep state (the
-    round-robin cursor); the replicated shard serializes calls, so they
-    need no locking of their own.
+    an index **into that candidate list**.  ``slots`` optionally names
+    each candidate's stable replica slot id (ascending); stateful
+    pickers use it to keep their rotation anchored to replicas rather
+    than to positions in a candidate list whose membership shifts as
+    replicas die, revive, or are excluded per-attempt.  Pickers may
+    keep state (the round-robin cursor); the replicated shard
+    serializes calls, so they need no locking of their own.
     """
 
     #: Registry name (also what ``describe()`` reports).
     name = "abstract"
 
-    def pick(self, in_flight: list[int], query_key: str) -> int:
+    def pick(
+        self,
+        in_flight: list[int],
+        query_key: str,
+        slots: Optional[list[int]] = None,
+    ) -> int:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -248,21 +285,40 @@ class ReadPicker:
 
 
 class RoundRobinPicker(ReadPicker):
-    """Cycle through the replicas — maximally even read *counts*."""
+    """Cycle through the replicas — maximally even read *counts*.
+
+    The cursor rotates over **stable replica slot ids**, not positions
+    in the candidate list: when a replica dies, revives, or sits out
+    one attempt, the candidate list shifts but the rotation continues
+    from the same point in slot space, so the spread stays even across
+    health transitions instead of briefly favouring whichever replica
+    inherited a shifted position.
+    """
 
     name = "round_robin"
 
     def __init__(self) -> None:
         self._cursor = 0
 
-    def pick(self, in_flight: list[int], query_key: str) -> int:
-        choice = self._cursor % len(in_flight)
-        # Advance modulo the candidate count: the cursor only ever needs
-        # to distinguish positions within one candidate list, and
-        # wrapping here keeps it bounded over a long-lived shard instead
-        # of growing by one per read forever.
-        self._cursor = (self._cursor + 1) % len(in_flight)
-        return choice
+    def pick(
+        self,
+        in_flight: list[int],
+        query_key: str,
+        slots: Optional[list[int]] = None,
+    ) -> int:
+        if slots is None:
+            slots = list(range(len(in_flight)))
+        # First candidate slot at or after the cursor, wrapping in the
+        # stable slot space; storing the cursor modulo the highest slot
+        # id keeps it bounded over a long-lived shard instead of growing
+        # by one per read forever.
+        modulus = slots[-1] + 1
+        position = min(
+            range(len(slots)),
+            key=lambda i: (slots[i] - self._cursor) % modulus,
+        )
+        self._cursor = (slots[position] + 1) % modulus
+        return position
 
 
 class LeastLoadedPicker(ReadPicker):
@@ -270,7 +326,12 @@ class LeastLoadedPicker(ReadPicker):
 
     name = "least_loaded"
 
-    def pick(self, in_flight: list[int], query_key: str) -> int:
+    def pick(
+        self,
+        in_flight: list[int],
+        query_key: str,
+        slots: Optional[list[int]] = None,
+    ) -> int:
         return min(range(len(in_flight)), key=lambda i: (in_flight[i], i))
 
 
@@ -286,7 +347,12 @@ class StickyPicker(ReadPicker):
 
     name = "sticky"
 
-    def pick(self, in_flight: list[int], query_key: str) -> int:
+    def pick(
+        self,
+        in_flight: list[int],
+        query_key: str,
+        slots: Optional[list[int]] = None,
+    ) -> int:
         return zlib.crc32(query_key.encode("utf-8")) % len(in_flight)
 
 
@@ -360,6 +426,15 @@ class ReplicatedShard:
     through :meth:`execute`, which is where the picker fans them out.
     """
 
+    #: Never compact the write log below this many entries — small
+    #: shards never pay the compaction sweep.
+    OPLOG_COMPACT_MIN = 64
+    #: ... and only compact once the log exceeds this factor of the
+    #: live corpus: the compacted log is at most ``2 * live + 1``
+    #: entries, so each sweep buys at least Ω(live) further writes
+    #: before the next one — O(1) amortized clones per write.
+    OPLOG_COMPACT_FACTOR = 3
+
     def __init__(
         self,
         index: int,
@@ -416,12 +491,17 @@ class ReplicatedShard:
         #: shard totals never decrease when a slot is replaced.
         self._retired_stats = StatsCollector()
         #: The shard's write log: every committed write in order, as
-        #: ``("add", unnumbered template Document)`` /
+        #: ``("add", template Document clone)`` /
         #: ``("remove", span start id)`` entries.  :meth:`revive`
         #: replays it — adds *and* removals, because removals leave id
         #: gaps a fresh add sequence would not reproduce — so a rebuilt
-        #: replica assigns exactly the primary's node ids.  Appended
-        #: under :attr:`add_lock` only.
+        #: replica assigns exactly the primary's node ids.  Once the
+        #: log outgrows the live corpus it is compacted down to the
+        #: live documents plus synthetic ``("gap", id count)`` entries
+        #: (:meth:`_compact_oplog`), so a long-lived shard holds
+        #: O(corpus) log memory, not O(write history) — under steady
+        #: rebalance churn the two differ without bound.  Mutated under
+        #: :attr:`add_lock` only.
         self._oplog: list[tuple[str, object]] = []
 
     @property
@@ -473,11 +553,15 @@ class ReplicatedShard:
         in-flight counters it consults are maintained around the
         replica call); every replica holds the same documents with the
         same ids, so the answer is independent of the choice.  A
-        replica whose ``execute`` raises is demoted through the health
-        machine (suspect after :attr:`suspect_after` consecutive
-        failures, quarantined dead after :attr:`dead_after`) and the
-        read retries on the next candidate — the caller only sees an
-        error once every replica has been tried or quarantined.
+        replica whose ``execute`` raises an *infrastructure* fault is
+        demoted through the health machine (suspect after
+        :attr:`suspect_after` consecutive failures, quarantined dead
+        after :attr:`dead_after`) and the read retries on the next
+        candidate — the caller only sees such an error once every
+        replica has been tried or quarantined.  Deterministic query
+        errors (:data:`QUERY_ERRORS`) fail the same way everywhere, so
+        they re-raise immediately, demoting nothing and retrying
+        nowhere.
         """
         query_key = query if isinstance(query, str) else query.to_xpath()
         attempted: set[int] = set()
@@ -490,6 +574,11 @@ class ReplicatedShard:
                     use_result_cache=use_result_cache,
                     **strategy_options,
                 )
+            except QUERY_ERRORS:
+                # The query itself is bad (parse/planning/lookup): every
+                # replica would fail it identically, so this says nothing
+                # about the replica that happened to serve it.
+                raise
             except Exception as error:
                 attempted.add(choice)
                 if not self._record_read_failure(choice, error, attempted):
@@ -536,7 +625,9 @@ class ReplicatedShard:
                         f"or failed this query)"
                     )
                 position = self.picker.pick(
-                    [self._in_flight[slot] for slot in candidates], query_key
+                    [self._in_flight[slot] for slot in candidates],
+                    query_key,
+                    slots=candidates,
                 )
                 if not 0 <= position < len(candidates):
                     raise DocumentError(
@@ -621,6 +712,7 @@ class ReplicatedShard:
                         position, f"write-through add failed: {error!r}"
                     )
             self._check_alignment()
+            self._maybe_compact_oplog()
             return added
 
     def remove_document(self, ref: Union[Document, str]) -> Document:
@@ -645,6 +737,7 @@ class ReplicatedShard:
                         position, f"write-through remove failed: {error!r}"
                     )
             self._check_alignment()
+            self._maybe_compact_oplog()
             return removed
 
     def build_index(self, name: str, **options):
@@ -723,14 +816,61 @@ class ReplicatedShard:
                 )
 
     # ------------------------------------------------------------------
+    # Write-log compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact_oplog(self) -> None:
+        """Compact the write log once it outgrows the live corpus.
+
+        Without this the log retains a clone of every document ever
+        added: with rebalancing enabled every move appends an add-clone
+        to the target shard and a remove entry to the source, so memory
+        would grow without bound even at constant corpus size.  Called
+        under :attr:`add_lock` by the write path.
+        """
+        threshold = max(
+            self.OPLOG_COMPACT_MIN,
+            self.OPLOG_COMPACT_FACTOR * (self.primary.document_count + 1),
+        )
+        if len(self._oplog) >= threshold:
+            self._compact_oplog()
+
+    def _compact_oplog(self) -> None:
+        """Collapse the log to the live documents plus id-gap entries.
+
+        Replaying the compacted log reproduces exactly the state the
+        full history would: each live document re-added in first-id
+        order, with ``("gap", count)`` entries advancing the id
+        watermark across the ranges that removals (and the removal
+        halves of moves) retired — so :meth:`revive` still rebuilds a
+        replica to exactly the primary's node ids.  At most
+        ``2 * live + 1`` entries remain, which is strictly below the
+        compaction threshold, so the log stays bounded by the corpus
+        size however long the shard lives.
+        """
+        entries: list[tuple[str, object]] = []
+        cursor = 1  # a fresh XmlDatabase numbers from id 1
+        for document in sorted(
+            self.primary.db.documents, key=lambda doc: doc.first_id
+        ):
+            if document.first_id > cursor:
+                entries.append(("gap", document.first_id - cursor))
+            entries.append(("add", document.clone()))
+            cursor = document.end_id
+        if self.primary.watermark > cursor:
+            entries.append(("gap", self.primary.watermark - cursor))
+        self._oplog = entries
+
+    # ------------------------------------------------------------------
     # Revive: re-sync a quarantined replica from the write log
     # ------------------------------------------------------------------
     def revive(self, replica_index: int) -> Shard:
         """Rebuild one replica slot by replaying the shard's write log.
 
         A fresh :class:`Shard` replays every committed write in order —
-        adds *and* removals, because removals leave id gaps that a
-        replay of only the surviving documents would not reproduce — so
+        adds *and* removals (or, after compaction, the live documents
+        plus synthetic id-gap entries), because removals leave id gaps
+        that a replay of only the surviving documents would not
+        reproduce — so
         it assigns exactly the primary's node ids; the primary's built
         indexes are then rebuilt from their recorded build options.
         The slot is swapped in under both locks and its health reset to
@@ -750,6 +890,11 @@ class ReplicatedShard:
             for action, payload in self._oplog:
                 if action == "add":
                     fresh.add_document(payload.clone())
+                elif action == "gap":
+                    # A compacted stretch of retired ids: advance the
+                    # watermark without materializing the removed
+                    # documents (see :meth:`_compact_oplog`).
+                    fresh.db.skip_ids(payload)
                 else:
                     fresh.remove_document(fresh.document_at(payload))
             for name in sorted(self.primary.engine.indexes):

@@ -120,6 +120,23 @@ class XmlDatabase:
         """Wrap ``root`` in a :class:`Document` and add it."""
         return self.add_document(Document(root, name=name))
 
+    def skip_ids(self, count: int) -> None:
+        """Advance the id watermark by ``count`` without assigning ids.
+
+        Ids are never reused, so to every reader a skipped stretch is
+        indistinguishable from ids that once belonged to a removed
+        document.  This is what lets a replayed write log reproduce
+        removal gaps without materializing the removed documents (see
+        the replica re-sync path's compacted oplog): documents added
+        after the skip are numbered exactly as the original database
+        numbered them.
+        """
+        if count < 1:
+            raise DocumentError(
+                f"can only skip a positive id count, got {count}"
+            )
+        self._next_id += count
+
     def _renumber(self, root: Node) -> None:
         stack = [root]
         while stack:

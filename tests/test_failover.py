@@ -34,7 +34,7 @@ import pytest
 
 from repro import ShardedQueryService, TwigIndexDatabase
 from repro.datasets import generate_xmark
-from repro.errors import DocumentError
+from repro.errors import DocumentError, QueryParseError
 from repro.faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -209,6 +209,24 @@ def test_all_replicas_dead_surfaces_an_error():
         shard.execute(XPATH)  # both quarantined: no live replica left
 
 
+def test_query_errors_do_not_demote_health_or_retry():
+    # A bad query fails identically on every replica: with the old
+    # catch-everything demotion, repeating it dead_after times walked
+    # the whole replica set (primary included) to dead and turned a
+    # caller mistake into a permanent shard read outage.
+    shard = _replicated(suspect_after=1, dead_after=2)
+    expected = shard.primary.service.execute(XPATH, strategy="rootpaths").ids
+    for _ in range(8):  # well past dead_after on every replica
+        with pytest.raises(QueryParseError):
+            shard.execute("not a query ((")
+    report = shard.health_report()
+    assert report["states"] == [REPLICA_HEALTHY] * 3
+    assert report["reads_retried"] == 0
+    assert report["replicas_failed"] == 0
+    # Valid reads still serve afterwards.
+    assert shard.execute(XPATH, strategy="rootpaths").ids == expected
+
+
 def test_divergent_secondary_is_quarantined_by_the_alignment_check():
     shard = _replicated()
     injector = inject(shard, 2, FaultPlan.diverging_at(1, drift=5))
@@ -310,6 +328,34 @@ def test_revive_is_monotone_in_the_merged_stats():
     after = shard.stats_snapshot()
     assert all(after[key] >= value for key, value in before.items())
     assert after["replicas_revived"] == 1
+
+
+def test_oplog_stays_bounded_under_churn_and_revive_stays_exact():
+    # Constant corpus, endless remove/re-add churn: without compaction
+    # the write log keeps a clone of every document ever added and
+    # grows without bound.  Small docs keep the loop fast.
+    shard = _replicated(replicas=2, dead_after=1)
+    for i in range(70):
+        name = f"doc-{i % 2}"
+        shard.remove_document(name)
+        shard.add_document(
+            generate_xmark(scale=0.005, seed=900 + i, name=name)
+        )
+    assert len(shard._oplog) < ReplicatedShard.OPLOG_COMPACT_MIN
+    # The compacted log (live adds + id-gap entries) still re-syncs a
+    # replica to exactly the primary's ids through the removal gaps.
+    inject(shard, 1, FaultPlan.failing_at(*range(1, 100)))
+    for _ in range(4):
+        shard.execute(XPATH)
+    assert shard.health_report()["states"][1] == REPLICA_DEAD
+    shard.add_document(_doc(8))  # a write the quarantined replica misses
+    revived = shard.revive(1)
+    assert revived.watermark == shard.primary.watermark
+    assert revived.document_count == shard.primary.document_count
+    assert (
+        revived.service.execute(XPATH, strategy="rootpaths").ids
+        == shard.primary.service.execute(XPATH, strategy="rootpaths").ids
+    )
 
 
 def test_service_revive_passthrough_and_validation():
@@ -428,6 +474,81 @@ def test_service_drives_auto_rebalance_between_queries():
     # The activity counter rides the shared stats machinery.
     assert service._stats_snapshot()[-1]["auto_rebalances"] == 1
     service.close()
+
+
+def test_plan_rebalance_skips_placements_retired_mid_plan(monkeypatch):
+    # A removal racing the planner can retire a placement (and detach
+    # its shard-side document) after the placements() snapshot; the
+    # plan must skip it, not abort — from a background auto-rebalance
+    # an abort would surface as an operations failure.
+    collection = _skewed_collection()
+    stale = collection.placements()
+    retired = stale[0]
+    collection.remove_document(retired.name)
+    monkeypatch.setattr(collection.topology, "placements", lambda: stale)
+    moves = collection.plan_rebalance()
+    assert all(move.placement is not retired for move in moves)
+
+
+def test_background_rebalance_failure_is_status_not_a_query_error(monkeypatch):
+    documents = [
+        generate_xmark(scale=0.01, seed=400 + i, name=_colliding_name(f"f-{i}", 2))
+        for i in range(6)
+    ]
+    service = ShardedQueryService.from_documents(
+        documents,
+        num_shards=2,
+        placement="hash",
+        auto_rebalance=True,
+        rebalance_interval=1,
+    )
+    service.build_index("rootpaths")
+
+    def boom(policy, compact=False):
+        raise RuntimeError("rebalance exploded")
+
+    monkeypatch.setattr(service.collection, "rebalance", boom)
+    expected = service.oracle(XPATH)
+    # The trigger fires on the first tick and the background run fails;
+    # no later query (whose answer was already gathered) may lose its
+    # result to that failure.
+    for _ in range(6):
+        assert service.execute(XPATH, use_result_cache=False).ids == expected
+    assert service.operations.drain() is None  # never completed a run
+    operations = service.describe()["operations"]["auto_rebalance"]
+    assert operations["auto_rebalances"] == 0
+    assert operations["auto_rebalance_failures"] >= 1
+    assert "rebalance exploded" in operations["last_error"]
+    assert "error" in operations["episodes"][-1]
+    service.close()
+
+
+def test_fired_background_run_is_published_before_check_returns():
+    # The future must be published atomically with the firing decision:
+    # a drain() racing the check may never observe a fired-but-
+    # unpublished run and return with pre-rebalance state.
+    collection = _skewed_collection()
+    auto = AutoRebalancer(
+        collection, check_interval=1, background=True, enabled=True
+    )
+    release = threading.Event()
+    real_rebalance = collection.rebalance
+
+    def gated(policy, compact=False):
+        assert release.wait(10)
+        return real_rebalance(policy)
+
+    collection.rebalance = gated
+    try:
+        record = auto.check()
+        assert record["fired"]
+        assert auto.describe()["in_flight"]  # visible before any sync point
+    finally:
+        release.set()
+    report = auto.drain()
+    assert report is not None
+    assert auto.stats.auto_rebalances == 1
+    auto.close()
 
 
 def test_disabled_auto_rebalance_never_checks():
