@@ -30,7 +30,6 @@ across PRs.
 from __future__ import annotations
 
 import statistics
-import time
 
 import pytest
 
@@ -38,6 +37,7 @@ from repro import ShardedQueryService, TwigIndexDatabase
 from repro.bench import format_table, write_bench_report
 from repro.datasets import generate_xmark
 from repro.faults import FaultPlan, inject
+from repro.obs.clock import now
 from repro.workloads import query
 
 #: The Figure 12 twig workload (high and low branch points).
@@ -94,11 +94,11 @@ def _serve(service: ShardedQueryService, workload, faulted: bool) -> dict:
     for round_number in range(1, ROUNDS + 1):
         if faulted and round_number == KILL_AFTER_ROUND + 1:
             injector = inject(service.collection.shards[0], 1, FAULT_PLAN)
-        started = time.perf_counter()
+        started = now()
         round_answers = {}
         for xpath in workload:
             round_answers[xpath] = service.execute(xpath).ids
-        round_seconds.append(time.perf_counter() - started)
+        round_seconds.append(now() - started)
         answers.append(round_answers)
     describe = service.describe()
     return {

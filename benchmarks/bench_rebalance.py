@@ -40,7 +40,6 @@ across PRs.
 from __future__ import annotations
 
 import statistics
-import time
 import zlib
 
 import pytest
@@ -48,6 +47,7 @@ import pytest
 from repro import ShardedQueryService
 from repro.bench import format_table, write_bench_report
 from repro.datasets import generate_xmark
+from repro.obs.clock import now
 from repro.workloads import query
 
 #: The Figure 12 twig workload (high and low branch points).
@@ -104,10 +104,10 @@ def _serve_rounds(service, workload, first_round, rounds):
     answers = {}
     for round_number in range(first_round, first_round + rounds):
         service.add_document(_delta_document(round_number))
-        started = time.perf_counter()
+        started = now()
         for xpath in workload:
             answers[xpath] = service.execute(xpath).ids
-        round_seconds.append(time.perf_counter() - started)
+        round_seconds.append(now() - started)
     return {
         # Median round, so one scheduler hiccup cannot skew the ratio.
         "qps": len(workload) / statistics.median(round_seconds),
@@ -199,10 +199,10 @@ def replica_scaling():
         round_seconds: list[float] = []
         answers = {}
         for _ in range(READ_ROUNDS):
-            started = time.perf_counter()
+            started = now()
             for xpath in workload:
                 answers[xpath] = service.execute(xpath).ids
-            round_seconds.append(time.perf_counter() - started)
+            round_seconds.append(now() - started)
         return {
             "qps": len(workload) / statistics.median(round_seconds),
             "answers": answers,

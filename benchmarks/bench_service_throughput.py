@@ -18,11 +18,11 @@ Asserted shape:
 
 from __future__ import annotations
 
-import time
 
 import pytest
 
 from repro.bench import format_table, write_bench_report
+from repro.obs.clock import now
 from repro.service import QueryService
 from repro.workloads import query
 
@@ -45,15 +45,15 @@ def throughput(xmark_context):
     database = xmark_context.database
     workload = _workload()
 
-    started = time.perf_counter()
+    started = now()
     for xpath in workload:
         database.engine.execute(xpath, strategy="rootpaths")
-    per_query_seconds = time.perf_counter() - started
+    per_query_seconds = now() - started
 
     service = QueryService(database.engine)  # fresh caches
-    started = time.perf_counter()
+    started = now()
     batch = service.execute_batch(workload, strategy="auto")
-    batched_seconds = time.perf_counter() - started
+    batched_seconds = now() - started
 
     queries_per_second = len(workload) / batched_seconds
     print()

@@ -9,10 +9,9 @@ ROOTPATHS and DATAPATHS per query.
 Run with:  python examples/query_service.py
 """
 
-import time
-
 from repro import TwigIndexDatabase
 from repro.datasets import generate_xmark
+from repro.obs.clock import now
 from repro.workloads import query
 
 SERVED = ("Q1x", "Q4x", "Q6x", "Q8x", "Q10x", "Q11x")
@@ -35,14 +34,14 @@ def main() -> None:
     # 3. Serve a repeated-query workload, per-query vs batched+cached.
     workload = [query(qid).xpath for _ in range(REPEATS) for qid in SERVED]
 
-    started = time.perf_counter()
+    started = now()
     for xpath in workload:
         db.engine.execute(xpath, strategy="rootpaths")
-    per_query_seconds = time.perf_counter() - started
+    per_query_seconds = now() - started
 
-    started = time.perf_counter()
+    started = now()
     batch = db.execute_batch(workload, strategy="auto")
-    batched_seconds = time.perf_counter() - started
+    batched_seconds = now() - started
 
     print(f"\nServed {len(workload)} queries ({len(SERVED)} distinct x {REPEATS}):")
     print(f"  per-query execute : {per_query_seconds:.3f}s "

@@ -29,6 +29,7 @@ from .errors import (
     XmlParseError,
 )
 from .faults import FaultInjector, FaultPlan, InjectedFault
+from .obs import Telemetry
 from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
 from .query.parser import normalize_xpath, parse_xpath
 from .service import AUTO_STRATEGY, BatchResult, QueryService
@@ -56,6 +57,7 @@ __all__ = [
     "ShardedCollection",
     "ShardedQueryService",
     "StorageError",
+    "Telemetry",
     "TreeBuilder",
     "TwigIndexDatabase",
     "TwigQueryEngine",

@@ -12,12 +12,12 @@ qualitative shape of each figure.
 from __future__ import annotations
 
 import functools
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..engine import TwigIndexDatabase
 from ..datasets import generate_dblp, generate_xmark
+from ..obs.clock import now as _now
 from ..planner.evaluator import DEFAULT_STRATEGIES
 from ..workloads.queries import WorkloadQuery
 
@@ -69,9 +69,9 @@ class ExperimentContext:
         for index_name in names:
             if index_name in self.database.indexes:
                 continue
-            started = time.perf_counter()
+            started = _now()
             self.database.build_index(index_name)
-            self.build_seconds[index_name] = time.perf_counter() - started
+            self.build_seconds[index_name] = _now() - started
 
     def ensure_strategy_indexes(self, strategies: Sequence[str]) -> None:
         """Build the indices every listed strategy needs."""

@@ -5,8 +5,8 @@ machine-readable ``BENCH_<name>.json`` artifact per benchmark run
 (throughput, weighted costs, configuration — whatever summary the
 bench assembles), so the performance trajectory of the serving tier is
 trackable across PRs instead of living only in CI logs.  Artifacts
-land in ``benchmarks/artifacts/`` by default; set ``BENCH_REPORT_DIR``
-to redirect them.
+land in ``benchmarks/artifacts/`` by default; set ``REPRO_BENCH_DIR``
+(or the older ``BENCH_REPORT_DIR``) to redirect them.
 """
 
 from __future__ import annotations
@@ -14,8 +14,10 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from .harness import Measurement
 
@@ -90,6 +92,30 @@ def size_table(sizes_by_dataset: Mapping[str, Mapping[str, float]], title: str =
     return format_table(headers, rows, title=title)
 
 
+def _git_revision() -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout.
+
+    Benchmark artifacts are compared across PRs; stamping the revision
+    ties each number to the code that produced it.  Failure is not an
+    option to propagate — a missing ``git`` binary or a tarball
+    checkout still deserves an artifact.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = result.stdout.strip()
+    if result.returncode != 0 or not revision:
+        return None
+    return revision
+
+
 def write_bench_report(
     name: str,
     summary: Mapping[str, object],
@@ -99,20 +125,27 @@ def write_bench_report(
 
     ``summary`` is the bench's own measurement dict (throughputs,
     weighted costs, asserted ratios, configuration); it must be
-    JSON-serializable.  The artifact records the interpreter next to
-    the numbers — wall-clock figures are only comparable across runs
-    of the same environment, logical costs across any.  Returns the
-    written path.  ``directory`` (or the ``BENCH_REPORT_DIR``
-    environment variable) overrides :data:`DEFAULT_REPORT_DIR`.
+    JSON-serializable.  The artifact stamps the run's provenance next
+    to the numbers — UTC timestamp, git revision (``None`` outside a
+    checkout) and interpreter — because wall-clock figures are only
+    comparable across runs of the same environment and code, logical
+    costs across any.  Returns the written path.  ``directory`` (or
+    the ``REPRO_BENCH_DIR`` environment variable, or its older alias
+    ``BENCH_REPORT_DIR``) overrides :data:`DEFAULT_REPORT_DIR`.
     """
     target_dir = Path(
         directory
         if directory is not None
-        else os.environ.get("BENCH_REPORT_DIR", DEFAULT_REPORT_DIR)
+        else os.environ.get(
+            "REPRO_BENCH_DIR",
+            os.environ.get("BENCH_REPORT_DIR", DEFAULT_REPORT_DIR),
+        )
     )
     target_dir.mkdir(parents=True, exist_ok=True)
     report = {
         "bench": name,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "git_revision": _git_revision(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "summary": dict(summary),

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
+from .obs import Telemetry, Trace
 from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
 from .query.match import NaiveMatcher
 from .query.parser import parse_xpath
@@ -48,11 +49,19 @@ from .xmltree.parser import parse_file, parse_string
 class TwigIndexDatabase:
     """An XML database plus the paper's index family and query engine."""
 
-    def __init__(self, db: Optional[XmlDatabase] = None) -> None:
+    def __init__(
+        self,
+        db: Optional[XmlDatabase] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.db = db if db is not None else XmlDatabase()
         self.stats = StatsCollector()
         self.engine = TwigQueryEngine(self.db, stats=self.stats)
-        self.service = QueryService(self.engine)
+        self.service = QueryService(self.engine, telemetry=telemetry)
+        #: The stack's telemetry hub (shared with the service layer);
+        #: ``docs/OBSERVABILITY.md`` documents the span taxonomy and
+        #: metric names it exposes.
+        self.telemetry = self.service.telemetry
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -235,6 +244,25 @@ class TwigIndexDatabase:
         :meth:`~repro.xmltree.document.XmlDatabase.document_spans`.
         """
         return self.db.document_spans()
+
+    # ------------------------------------------------------------------
+    # Observability (see docs/OBSERVABILITY.md)
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, object]:
+        """Snapshot of every metric family (delegates to the service)."""
+        return self.service.metrics()
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of the metric families."""
+        return self.service.metrics_text()
+
+    def traces(self, last: Optional[int] = None) -> list[Trace]:
+        """Recently finished query traces, oldest first."""
+        return self.service.traces(last=last)
+
+    def slow_queries(self, last: Optional[int] = None) -> list[Trace]:
+        """Traces that exceeded the slow-query threshold, oldest first."""
+        return self.service.slow_queries(last=last)
 
     def describe(self) -> dict[str, object]:
         """Summary statistics of the loaded data (handy in examples)."""

@@ -218,12 +218,18 @@ class FaultInjector:
         inner,
         plan: FaultPlan,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry=None,
     ) -> None:
         self.inner = inner
         self.plan = plan
         self._sleep = sleep
         self._lock = threading.Lock()
         self._state = _InjectorState()
+        #: Optional :class:`~repro.obs.Telemetry`; when present, every
+        #: fired event is also published to the stack's ops log, so a
+        #: fault-injection run reads as one ordered story: injected
+        #: fault -> failed read -> retry -> quarantine.
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Intercepted surface
@@ -238,6 +244,13 @@ class FaultInjector:
                 if event.kind == "diverge":
                     self._state.drift += event.drift
         if event is not None:
+            if self._telemetry is not None:
+                self._telemetry.event(
+                    "fault-injected",
+                    fault=event.kind,
+                    call=event.call,
+                    target=getattr(self.inner, "index", None),
+                )
             if event.kind == "error":
                 raise InjectedFault(
                     f"injected fault on call {event.call} of "
@@ -289,6 +302,8 @@ def inject(shard, replica_index: int, plan: FaultPlan) -> FaultInjector:
     """
     with shard.add_lock:
         replica = shard.replicas[replica_index]
-        injector = FaultInjector(replica, plan)
+        injector = FaultInjector(
+            replica, plan, telemetry=getattr(shard, "telemetry", None)
+        )
         shard.replicas[replica_index] = injector
         return injector

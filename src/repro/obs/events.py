@@ -1,0 +1,118 @@
+"""A bounded ring-buffer ops log of structured serving-tier events.
+
+Operational transitions — replica health demotions, quarantines and
+revives, auto-rebalance episodes, fault injections, cache
+invalidations, slow queries — happen *between* the numbers the metrics
+registry aggregates.  The :class:`EventLog` records them as ordered,
+structured records so a test (or an operator) can ask "what happened,
+in what order" instead of inferring it from counter deltas.
+
+Determinism is deliberate: events carry a monotonically increasing
+sequence number, not a wall-clock timestamp, so a seeded
+fault-injection run produces byte-identical event streams — the same
+property :mod:`repro.faults` guarantees for the faults themselves.
+The buffer is bounded (``capacity``), but totals per kind survive
+eviction, so long-lived services report accurate activity counts while
+holding O(capacity) memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["EventLog", "OpsEvent"]
+
+
+@dataclass(frozen=True)
+class OpsEvent:
+    """One structured ops record: what happened, numbered in order."""
+
+    seq: int
+    kind: str
+    attributes: dict = field(default_factory=dict)
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serializable copy (exports and slow-query dumps)."""
+        return {"seq": self.seq, "kind": self.kind, **self.attributes}
+
+    def __str__(self) -> str:
+        details = " ".join(
+            f"{key}={value!r}" for key, value in sorted(self.attributes.items())
+        )
+        return f"#{self.seq} {self.kind}" + (f" {details}" if details else "")
+
+
+class EventLog:
+    """Thread-safe bounded log of :class:`OpsEvent` records.
+
+    ``publish`` is called from read paths holding shard-level locks, so
+    it must stay cheap and must never call back out: one lock, one
+    counter bump, one list append (plus an O(1) amortized trim past
+    ``capacity``).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"event log capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: list[OpsEvent] = []
+        self._seq = 0
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def publish(self, kind: str, **attributes) -> OpsEvent:
+        """Append one event; oldest records fall off past ``capacity``."""
+        with self._lock:
+            self._seq += 1
+            event = OpsEvent(seq=self._seq, kind=kind, attributes=attributes)
+            self._events.append(event)
+            del self._events[: -self.capacity]
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            return event
+
+    def events(
+        self, last: Optional[int] = None, kind: Optional[str] = None
+    ) -> list[OpsEvent]:
+        """The retained events in publish order, optionally filtered.
+
+        ``kind`` filters before ``last`` is applied, so
+        ``events(last=3, kind="replica-quarantined")`` is the three most
+        recent quarantines still in the buffer.
+        """
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [event for event in events if event.kind == kind]
+        if last is not None:
+            events = events[-last:]
+        return events
+
+    def counts(self) -> dict[str, int]:
+        """Total events ever published, per kind (survives eviction)."""
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def total_published(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def describe(self) -> dict[str, object]:
+        """Summary for the services' ``describe()['telemetry']`` section."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._events),
+                "published": self._seq,
+                "counts": dict(self._counts),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLog(retained={len(self)}, published={self.total_published})"

@@ -1,0 +1,88 @@
+"""Exposition formats for the observability layer.
+
+Two renderings of the same :meth:`MetricsRegistry.snapshot` cut:
+
+* the snapshot dict itself is the JSON form (services return it from
+  ``metrics()``), already serializable as-is;
+* :func:`render_prometheus` flattens it into Prometheus-style text
+  exposition — ``# HELP`` / ``# TYPE`` headers, one
+  ``name{label="value"} number`` sample per series, histogram
+  ``_bucket`` / ``_sum`` / ``_count`` samples plus summary-style
+  ``{quantile="0.5|0.95|0.99"}`` lines carrying the registry's
+  interpolated p50/p95/p99 estimates (a convenience a strict
+  Prometheus histogram would leave to the query side; this is a text
+  format for logs and scrape endpoints, not a client library).
+
+``docs/OBSERVABILITY.md`` documents the metric names and the format.
+"""
+
+from __future__ import annotations
+
+from .metrics import QUANTILES
+
+__all__ = ["render_prometheus"]
+
+
+def _escape(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: dict, extra: tuple = ()) -> str:
+    pairs = [(key, labels[key]) for key in sorted(labels)] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_number(value: float) -> str:
+    if value != value:  # NaN guard: histograms never emit it, belt anyway
+        return "NaN"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _header(lines: list[str], family: dict) -> None:
+    if family["help"]:
+        lines.append(f"# HELP {family['name']} {family['help']}")
+    lines.append(f"# TYPE {family['name']} {family['kind']}")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Flatten one registry snapshot into Prometheus-style text."""
+    lines: list[str] = []
+    for family in snapshot.get("counters", []) + snapshot.get("gauges", []):
+        _header(lines, family)
+        for series in family["series"]:
+            lines.append(
+                f"{family['name']}{_labels_text(series['labels'])} "
+                f"{_format_number(series['value'])}"
+            )
+    for family in snapshot.get("histograms", []):
+        _header(lines, family)
+        name = family["name"]
+        for series in family["series"]:
+            labels = series["labels"]
+            for bucket in series["buckets"]:
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels_text(labels, (('le', bucket['le']),))} "
+                    f"{bucket['cumulative']}"
+                )
+            lines.append(
+                f"{name}_sum{_labels_text(labels)} "
+                f"{_format_number(series['sum'])}"
+            )
+            lines.append(f"{name}_count{_labels_text(labels)} {series['count']}")
+            for q in QUANTILES:
+                lines.append(
+                    f"{name}{_labels_text(labels, (('quantile', q),))} "
+                    f"{_format_number(series[f'p{int(q * 100)}'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

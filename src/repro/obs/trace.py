@@ -1,0 +1,273 @@
+"""Per-query traces of nested spans, propagated across thread pools.
+
+A :class:`Span` is one timed window of a query's life (``plan`` /
+``choose`` / ``cache-lookup`` / ``execute`` / ``scatter`` / ``shard`` /
+``replica`` / ``index-maintain`` — the taxonomy lives in
+``docs/OBSERVABILITY.md``), carrying wall time, free-form attributes
+and, when a :class:`~repro.storage.stats.StatsCollector` is attached,
+the counter diff of exactly its window — so a trace prices each phase
+in the same logical currency the paper's figures use.
+
+Parent/child structure comes from a ``contextvars.ContextVar``: a span
+opened while another is current becomes its child.  Crossing a thread
+pool does **not** propagate context variables by itself —
+``ThreadPoolExecutor.submit`` runs the callable in whatever context
+the worker thread last had — so the scatter path submits through
+``contextvars.copy_context().run`` (see
+:meth:`~repro.shard.service.ShardedQueryService._scatter`), giving
+every worker a private copy in which the scatter span is current.
+Child spans then attach to the right trace, and sibling workers'
+``set``/``reset`` operations cannot interleave because each mutates
+its own context copy (``list.append`` on the shared parent is atomic
+under the GIL).
+
+A root span (opened with no parent) becomes a :class:`Trace` when it
+closes: the :class:`Tracer` keeps a bounded ring of recent traces and
+a separate bounded ring of *slow* traces — roots whose duration
+reached the configurable threshold — so the full span tree of an
+outlier survives even after the main ring has rotated past it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .clock import now as _now
+
+__all__ = ["NULL_SPAN", "Span", "Trace", "Tracer", "current_span"]
+
+#: The innermost open span of the calling context (None outside any).
+_CURRENT_SPAN: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> Optional["Span"]:
+    """The span the calling context is currently inside, if any."""
+    return _CURRENT_SPAN.get()
+
+
+class Span:
+    """One named, timed, attributed window of a query's execution."""
+
+    __slots__ = ("name", "attributes", "children", "started", "ended", "cost")
+
+    def __init__(self, name: str, attributes: Optional[dict] = None) -> None:
+        self.name = name
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self.children: list[Span] = []
+        self.started: Optional[float] = None
+        self.ended: Optional[float] = None
+        #: StatsCollector diff over this span's window (when attached).
+        self.cost: Optional[dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_seconds(self) -> float:
+        if self.started is None or self.ended is None:
+            return 0.0
+        return self.ended - self.started
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach attributes after the fact (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self):
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree, depth-first order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def tree(self) -> dict[str, object]:
+        """The span subtree as a JSON-serializable dict."""
+        node: dict[str, object] = {
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+        }
+        if self.attributes:
+            node["attributes"] = dict(self.attributes)
+        if self.cost is not None:
+            node["cost"] = {k: v for k, v in self.cost.items() if v}
+        if self.children:
+            node["children"] = [child.tree() for child in self.children]
+        return node
+
+    def render(self, indent: int = 0) -> str:
+        """A human-readable tree (slow-query dumps, examples)."""
+        details = " ".join(
+            f"{key}={value!r}" for key, value in sorted(self.attributes.items())
+        )
+        line = "  " * indent + (
+            f"{self.name}  {self.duration_seconds * 1000:.3f}ms"
+            + (f"  [{details}]" if details else "")
+        )
+        return "\n".join(
+            [line] + [child.render(indent + 1) for child in self.children]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_seconds * 1000:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan(Span):
+    """The shared no-op span a disabled telemetry hands out.
+
+    Accepts annotations and discards them, so instrumented call sites
+    need no ``if enabled`` branches of their own.
+    """
+
+    __slots__ = ()
+
+    def annotate(self, **attributes) -> "Span":
+        return self
+
+
+NULL_SPAN = _NullSpan("disabled")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One finished per-query trace: a numbered, closed root span."""
+
+    trace_id: int
+    root: Span
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.root.duration_seconds
+
+    def tree(self) -> dict[str, object]:
+        return {"trace_id": self.trace_id, **self.root.tree()}
+
+    def render(self) -> str:
+        return f"trace #{self.trace_id}\n" + self.root.render(indent=1)
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span", "_stats", "_before", "_token", "_parent")
+
+    def __init__(self, tracer: "Tracer", span: Span, stats) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._stats = stats
+        self._before = None
+        self._token = None
+        self._parent = None
+
+    def __enter__(self) -> Span:
+        span = self._span
+        self._parent = _CURRENT_SPAN.get()
+        if self._parent is not None:
+            self._parent.children.append(span)
+        self._token = _CURRENT_SPAN.set(span)
+        if self._stats is not None:
+            self._before = self._stats.snapshot()
+        span.started = self._tracer.clock()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.ended = self._tracer.clock()
+        if self._stats is not None:
+            span.cost = self._stats.diff(self._before)
+        if exc is not None and "error" not in span.attributes:
+            span.attributes["error"] = repr(exc)
+        _CURRENT_SPAN.reset(self._token)
+        if self._parent is None:
+            self._tracer._finish(span)
+        return False
+
+
+class Tracer:
+    """Produces spans and retains finished traces in bounded rings."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        clock: Callable[[], float] = _now,
+        slow_query_seconds: Optional[float] = None,
+        slow_capacity: int = 32,
+        on_slow: Optional[Callable[[Trace], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be positive: {capacity}")
+        self.clock = clock
+        #: Root spans at or above this duration are copied into the
+        #: slow-query ring (and reported through ``on_slow``); ``None``
+        #: disables the slow log.
+        self.slow_query_seconds = slow_query_seconds
+        self._on_slow = on_slow
+        self._lock = threading.Lock()
+        self._traces: deque[Trace] = deque(maxlen=capacity)
+        self._slow: deque[Trace] = deque(maxlen=slow_capacity)
+        self._seq = 0
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, stats=None, **attributes) -> _SpanContext:
+        """Open one span as a context manager.
+
+        ``stats`` is any object with ``snapshot()``/``diff()`` (in
+        practice a :class:`~repro.storage.stats.StatsCollector`); the
+        span's ``cost`` becomes the counter diff over its window.
+        """
+        return _SpanContext(self, Span(name, attributes), stats)
+
+    def _finish(self, root: Span) -> None:
+        slow_trace = None
+        with self._lock:
+            self._seq += 1
+            self._finished += 1
+            trace = Trace(trace_id=self._seq, root=root)
+            self._traces.append(trace)
+            threshold = self.slow_query_seconds
+            if threshold is not None and root.duration_seconds >= threshold:
+                self._slow.append(trace)
+                slow_trace = trace
+        if slow_trace is not None and self._on_slow is not None:
+            self._on_slow(slow_trace)
+
+    # ------------------------------------------------------------------
+    def traces(self, last: Optional[int] = None) -> list[Trace]:
+        """The most recent finished traces, oldest first."""
+        with self._lock:
+            traces = list(self._traces)
+        return traces if last is None else traces[-last:]
+
+    def slow_queries(self, last: Optional[int] = None) -> list[Trace]:
+        """Retained traces that crossed the slow-query threshold."""
+        with self._lock:
+            slow = list(self._slow)
+        return slow if last is None else slow[-last:]
+
+    @property
+    def traces_finished(self) -> int:
+        with self._lock:
+            return self._finished
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "finished": self._finished,
+                "retained": len(self._traces),
+                "capacity": self._traces.maxlen,
+                "slow_query_seconds": self.slow_query_seconds,
+                "slow_retained": len(self._slow),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(finished={self.traces_finished})"

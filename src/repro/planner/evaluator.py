@@ -10,11 +10,11 @@ cost of producing it — the measurements every benchmark reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..errors import PlanningError
+from ..obs.clock import now as _now
 from ..indexes import INDEX_TYPES, PathIndex
 from ..query.match import NaiveMatcher
 from ..query.parser import parse_xpath
@@ -263,9 +263,9 @@ class TwigQueryEngine:
         instances across queries.
         """
         before = self.stats.snapshot()
-        started = time.perf_counter()
+        started = _now()
         ids = runner.evaluate(twig)
-        elapsed = time.perf_counter() - started
+        elapsed = _now() - started
         cost = self.stats.diff(before)
         return QueryResult(
             strategy=runner.name,

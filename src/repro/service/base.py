@@ -4,10 +4,15 @@
 whether execution happens on one engine or is scattered across shards:
 
 * the batch loop (:meth:`~ServingFacade.execute_batch`) with its shared
-  stats window, cache-hit accounting and per-strategy counts,
+  stats window, cache-hit accounting, per-strategy counts and stable
+  per-item query ids,
 * hashable cache keys for (query, strategy, options) triples,
 * defensive copies of cached :class:`QueryResult` objects,
-* cache counter reporting for ``describe()``.
+* cache counter reporting for ``describe()``,
+* the observability read surface (:meth:`~ServingFacade.metrics`,
+  :meth:`~ServingFacade.metrics_text`, :meth:`~ServingFacade.traces`,
+  :meth:`~ServingFacade.slow_queries`) over the
+  :class:`~repro.obs.Telemetry` hub every service carries.
 
 Subclasses provide :meth:`~ServingFacade.execute` plus the two stats
 hooks (:meth:`~ServingFacade._stats_snapshot` /
@@ -20,10 +25,12 @@ and sums the diffs through
 from __future__ import annotations
 
 import dataclasses
-import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
+from ..obs import Telemetry, Trace
+from ..obs.clock import now as _now
 from ..planner.evaluator import QueryResult
 from ..query.parser import normalize_xpath
 from ..query.twig import TwigPattern
@@ -41,6 +48,11 @@ class BatchResult:
     ``cost`` is the delta of one shared stats snapshot taken around the
     whole batch, so it prices exactly the logical work the batch charged
     — cached answers contribute nothing to it.
+
+    ``query_ids`` carries one stable identifier per item, positionally
+    aligned with ``results``: the id that was threaded through
+    ``execute`` for that item, so traces, cache hits and slow-query
+    entries are attributable back to the batch request that caused them.
     """
 
     results: list[QueryResult]
@@ -49,6 +61,7 @@ class BatchResult:
     cache_hits: int = 0
     cache_misses: int = 0
     strategy_counts: dict[str, int] = field(default_factory=dict)
+    query_ids: list[str] = field(default_factory=list)
 
     @property
     def total_cost(self) -> int:
@@ -65,6 +78,10 @@ class BatchResult:
 class ServingFacade:
     """Common batch execution and cache accounting for query services."""
 
+    #: The shared observability hub; subclasses assign it in their
+    #: constructors (and the sharded tier adopts its collection's).
+    telemetry: Telemetry
+
     # ------------------------------------------------------------------
     # Hooks subclasses implement
     # ------------------------------------------------------------------
@@ -73,6 +90,7 @@ class ServingFacade:
         query: Union[str, TwigPattern],
         strategy: str = AUTO_STRATEGY,
         use_result_cache: bool = True,
+        query_id: Optional[str] = None,
         **strategy_options,
     ) -> QueryResult:
         raise NotImplementedError
@@ -85,14 +103,38 @@ class ServingFacade:
         """Counter deltas since a :meth:`_stats_snapshot` checkpoint."""
         raise NotImplementedError
 
+    def _activity_counters(self) -> dict[str, int]:
+        """The full current stats snapshot, for the metrics scrape."""
+        return {}
+
+    def _cache_reports(self) -> dict[str, dict[str, object]]:
+        """Cache-name -> counter report, for the metrics scrape."""
+        return {}
+
     # ------------------------------------------------------------------
     # Batch execution (shared)
     # ------------------------------------------------------------------
+    @staticmethod
+    def default_query_id(index: int, query: Union[str, TwigPattern]) -> str:
+        """A stable, human-scannable id for batch item ``index``.
+
+        Position plus a checksum of the normalized query text, so the
+        same batch produces the same ids on every run (determinism) and
+        an id alone identifies which query it belonged to.
+        """
+        if isinstance(query, str):
+            text = normalize_xpath(query)
+        else:
+            text = str(query)
+        digest = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+        return f"q{index:03d}-{digest:08x}"
+
     def execute_batch(
         self,
         queries: Iterable[Union[str, TwigPattern]],
         strategy: str = AUTO_STRATEGY,
         use_result_cache: bool = True,
+        query_ids: Optional[Sequence[str]] = None,
         **strategy_options,
     ) -> BatchResult:
         """Evaluate many queries under one shared stats window.
@@ -100,18 +142,34 @@ class ServingFacade:
         Returns a :class:`BatchResult` whose ``cost`` is the counter
         delta across the whole batch — the logical work actually
         charged, with repeated queries served from the result cache for
-        free.
+        free.  Each item runs under a stable query id (caller-supplied
+        via ``query_ids``, else :meth:`default_query_id`), recorded
+        positionally in ``BatchResult.query_ids`` and threaded through
+        ``execute`` so traces and slow-query entries name the request.
         """
+        queries = list(queries)
+        if query_ids is not None:
+            ids = [str(query_id) for query_id in query_ids]
+            if len(ids) != len(queries):
+                raise ValueError(
+                    f"query_ids length {len(ids)} != batch length {len(queries)}"
+                )
+        else:
+            ids = [
+                self.default_query_id(index, query)
+                for index, query in enumerate(queries)
+            ]
         before = self._stats_snapshot()
-        started = time.perf_counter()
+        started = _now()
         results: list[QueryResult] = []
         hits = 0
         strategy_counts: dict[str, int] = {}
-        for query in queries:
+        for query, query_id in zip(queries, ids):
             result = self.execute(
                 query,
                 strategy=strategy,
                 use_result_cache=use_result_cache,
+                query_id=query_id,
                 **strategy_options,
             )
             hits += 1 if result.cached else 0
@@ -119,7 +177,7 @@ class ServingFacade:
                 strategy_counts.get(result.strategy, 0) + 1
             )
             results.append(result)
-        elapsed = time.perf_counter() - started
+        elapsed = _now() - started
         return BatchResult(
             results=results,
             elapsed_seconds=elapsed,
@@ -127,7 +185,71 @@ class ServingFacade:
             cache_hits=hits,
             cache_misses=len(results) - hits,
             strategy_counts=strategy_counts,
+            query_ids=ids,
         )
+
+    # ------------------------------------------------------------------
+    # Observability read surface (shared)
+    # ------------------------------------------------------------------
+    def _scrape(self) -> None:
+        """Refresh scrape-time gauges from the live counters.
+
+        Counters the stack already maintains — the
+        :class:`~repro.storage.stats.StatsCollector` totals (logical
+        cost plus failover / auto-rebalance activity) and the LRU cache
+        counters — are exported as gauges set at scrape time rather
+        than re-counted, so the metric surface cannot double-count
+        them.
+        """
+        if not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        activity = self._activity_counters()
+        if activity:
+            stats_gauge = metrics.gauge(
+                "repro_stats",
+                "StatsCollector totals (logical cost and activity counters)",
+            )
+            for name, value in activity.items():
+                stats_gauge.set(value, counter=name)
+        reports = self._cache_reports()
+        if reports:
+            cache_gauge = metrics.gauge(
+                "repro_cache",
+                "LRU cache counters, by cache and counter name",
+            )
+            for cache_name, report in reports.items():
+                for counter in (
+                    "size",
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "expiries",
+                    "clears",
+                    "cleared_entries",
+                ):
+                    if counter in report:
+                        cache_gauge.set(
+                            report[counter], cache=cache_name, counter=counter
+                        )
+
+    def metrics(self) -> dict[str, object]:
+        """A JSON-serializable metrics snapshot (refreshes the gauges)."""
+        self._scrape()
+        return self.telemetry.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of :meth:`metrics`."""
+        self._scrape()
+        return self.telemetry.metrics_text()
+
+    def traces(self, last: Optional[int] = None) -> list[Trace]:
+        """The most recent finished query traces, oldest first."""
+        return self.telemetry.traces(last=last)
+
+    def slow_queries(self, last: Optional[int] = None) -> list[Trace]:
+        """Retained traces that crossed the slow-query threshold."""
+        return self.telemetry.slow_queries(last=last)
 
     # ------------------------------------------------------------------
     # Cache key and copy helpers (shared)

@@ -48,6 +48,12 @@ class LRUCache:
     clock:
         Monotonic time source, injectable so tests can advance time
         deterministically.
+    on_clear:
+        Optional callback invoked *outside* the cache lock after each
+        :meth:`clear`, with the number of live entries dropped.  The
+        observability layer uses it to publish cache-invalidation
+        events; keeping the call outside the lock means a listener can
+        never deadlock against cache operations it triggers.
     """
 
     def __init__(
@@ -55,6 +61,7 @@ class LRUCache:
         max_size: int,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_clear: Optional[Callable[[int], None]] = None,
     ) -> None:
         if max_size < 0:
             raise ValueError(f"cache size cannot be negative: {max_size}")
@@ -73,6 +80,7 @@ class LRUCache:
         self.clears = 0
         self.cleared_entries = 0
         self._clock = clock
+        self._on_clear = on_clear
         self._lock = threading.RLock()
         #: key -> (expiry deadline or None, value)
         self._entries: OrderedDict[Hashable, tuple[Optional[float], object]] = (
@@ -129,9 +137,12 @@ class LRUCache:
         expiries.
         """
         with self._lock:
+            dropped = len(self._entries)
             self.clears += 1
-            self.cleared_entries += len(self._entries)
+            self.cleared_entries += dropped
             self._entries.clear()
+        if self._on_clear is not None:
+            self._on_clear(dropped)
 
     # ------------------------------------------------------------------
     def __contains__(self, key: Hashable) -> bool:

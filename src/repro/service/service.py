@@ -51,6 +51,7 @@ import threading
 from typing import Optional, Sequence, Union
 
 from ..errors import PlanningError
+from ..obs import Telemetry
 from ..planner.evaluator import QueryResult, STRATEGY_TYPES, TwigQueryEngine
 from ..planner.analysis import TwigAnalysis
 from ..planner.optimizer import AUTO_CANDIDATES, StrategyChoice, choose_strategy
@@ -74,13 +75,26 @@ class QueryService(ServingFacade):
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
         auto_candidates: Sequence[str] = AUTO_CANDIDATES,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.engine = engine
-        self.plan_cache = LRUCache(plan_cache_size)
-        self.result_cache = LRUCache(result_cache_size, ttl_seconds=result_cache_ttl)
+        #: The observability hub.  A standalone service gets its own;
+        #: shard-embedded services receive the stack-wide hub so every
+        #: layer's spans and events land in one trace tree and one log.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.plan_cache = LRUCache(
+            plan_cache_size, on_clear=self._cache_clear_listener("plan")
+        )
+        self.result_cache = LRUCache(
+            result_cache_size,
+            ttl_seconds=result_cache_ttl,
+            on_clear=self._cache_clear_listener("result"),
+        )
         #: Memoised StrategyChoice per normalized query; flushed with the
         #: result cache (a choice depends on the built-index generation).
-        self.choice_cache = LRUCache(plan_cache_size)
+        self.choice_cache = LRUCache(
+            plan_cache_size, on_clear=self._cache_clear_listener("choice")
+        )
         self.auto_candidates = tuple(auto_candidates)
         for name in self.auto_candidates:
             if name not in STRATEGY_TYPES:
@@ -103,6 +117,22 @@ class QueryService(ServingFacade):
         self.documents_replaced = 0
         self.auto_choice_counts: dict[str, int] = {}
         self.last_choice: Optional[StrategyChoice] = None
+
+    def _cache_clear_listener(self, cache_name: str):
+        """An ``on_clear`` callback publishing cache-invalidation events.
+
+        Empty clears are not events — invalidating an already-empty
+        cache is bookkeeping, not an operational transition worth a log
+        record.
+        """
+
+        def on_clear(dropped: int) -> None:
+            if dropped:
+                self.telemetry.event(
+                    "cache-invalidated", cache=cache_name, entries=dropped
+                )
+
+        return on_clear
 
     # ------------------------------------------------------------------
     # Plan cache
@@ -131,11 +161,14 @@ class QueryService(ServingFacade):
         instances survive.  Readers in other threads never observe the
         half-maintained state because they serialize on the same lock.
         """
-        with self._lock:
-            added = self.engine.add_document(document)
-            self.documents_added += 1
-            self.invalidate(rebuilt=False)
-            return added
+        with self.telemetry.span(
+            "index-maintain", stats=self.engine.stats, operation="add-document"
+        ):
+            with self._lock:
+                added = self.engine.add_document(document)
+                self.documents_added += 1
+                self.invalidate(rebuilt=False)
+                return added
 
     def remove_document(self, ref: Union[Document, str]) -> Document:
         """Remove a document through the engine under the service lock.
@@ -147,11 +180,14 @@ class QueryService(ServingFacade):
         instances survive — removing data changes answers, not plans.
         Returns the detached document.
         """
-        with self._lock:
-            removed = self.engine.remove_document(ref)
-            self.documents_removed += 1
-            self.invalidate(rebuilt=False)
-            return removed
+        with self.telemetry.span(
+            "index-maintain", stats=self.engine.stats, operation="remove-document"
+        ):
+            with self._lock:
+                removed = self.engine.remove_document(ref)
+                self.documents_removed += 1
+                self.invalidate(rebuilt=False)
+                return removed
 
     def replace_document(
         self, ref: Union[Document, str], replacement: Document
@@ -163,11 +199,14 @@ class QueryService(ServingFacade):
         added).  One incremental invalidation covers both halves.
         Returns the added replacement.
         """
-        with self._lock:
-            added = self.engine.replace_document(ref, replacement)
-            self.documents_replaced += 1
-            self.invalidate(rebuilt=False)
-            return added
+        with self.telemetry.span(
+            "index-maintain", stats=self.engine.stats, operation="replace-document"
+        ):
+            with self._lock:
+                added = self.engine.replace_document(ref, replacement)
+                self.documents_replaced += 1
+                self.invalidate(rebuilt=False)
+                return added
 
     def build_index(self, name: str, **options):
         """Build (or rebuild) an index under the service lock.
@@ -175,10 +214,16 @@ class QueryService(ServingFacade):
         Flushes every cache tier: a rebuild invalidates results, plans,
         optimizer choices and strategy instances alike.
         """
-        with self._lock:
-            index = self.engine.build_index(name, **options)
-            self.invalidate(rebuilt=True)
-            return index
+        with self.telemetry.span(
+            "index-maintain",
+            stats=self.engine.stats,
+            operation="build-index",
+            index=name,
+        ):
+            with self._lock:
+                index = self.engine.build_index(name, **options)
+                self.invalidate(rebuilt=True)
+                return index
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -340,21 +385,55 @@ class QueryService(ServingFacade):
         query: Union[str, TwigPattern],
         strategy: str = AUTO_STRATEGY,
         use_result_cache: bool = True,
+        query_id: Optional[str] = None,
         **strategy_options,
     ) -> QueryResult:
         """Evaluate one query through the caches and the optimizer.
 
         ``strategy`` is a fixed strategy name or ``"auto"``.  Cached
         answers come back with ``cached=True`` and the cost counters of
-        the execution that produced them.
+        the execution that produced them.  ``query_id`` (optional)
+        names the request in the query's trace and slow-query entries;
+        it never enters a cache key.
         """
+        attributes = {"tier": "engine"}
+        if isinstance(query, str):
+            attributes["xpath"] = query
+        if query_id is not None:
+            attributes["query_id"] = query_id
+        with self.telemetry.span(
+            "query", stats=self.engine.stats, **attributes
+        ) as root:
+            result = self._execute_traced(
+                root, query, strategy, use_result_cache, strategy_options
+            )
+            root.annotate(
+                strategy=result.strategy, cached=result.cached, ids=len(result.ids)
+            )
+        self.telemetry.record_query(
+            "engine", result.strategy, root.duration_seconds, result.cached
+        )
+        return result
+
+    def _execute_traced(
+        self,
+        root,
+        query: Union[str, TwigPattern],
+        strategy: str,
+        use_result_cache: bool,
+        strategy_options: dict,
+    ) -> QueryResult:
         with self._lock:
             self._check_generation()
-            twig = self.plan(query)
+            with self.telemetry.span("plan"):
+                twig = self.plan(query)
             xpath = query if isinstance(query, str) else twig.to_xpath()
+            root.annotate(xpath=xpath)
             cache_key = self._result_key(xpath, strategy, strategy_options)
             if use_result_cache and cache_key is not None:
-                hit = self.result_cache.get(cache_key)
+                with self.telemetry.span("cache-lookup") as lookup:
+                    hit = self.result_cache.get(cache_key)
+                    lookup.annotate(outcome="hit" if hit is not None else "miss")
                 if hit is not None:
                     return self._copy_result(hit, cached=True)
             result = self._execute_uncached(twig, xpath, strategy, strategy_options)
@@ -373,8 +452,10 @@ class QueryService(ServingFacade):
         self, twig: TwigPattern, xpath: str, strategy: str, strategy_options: dict
     ) -> QueryResult:
         if strategy == AUTO_STRATEGY:
-            choice = self._choose_cached(twig, xpath)
-            strategy = choice.strategy
+            with self.telemetry.span("choose") as chosen:
+                choice = self._choose_cached(twig, xpath)
+                strategy = choice.strategy
+                chosen.annotate(strategy=strategy)
             self.auto_choice_counts[strategy] = (
                 self.auto_choice_counts.get(strategy, 0) + 1
             )
@@ -389,7 +470,8 @@ class QueryService(ServingFacade):
                 strategy_options = dict(strategy_options)
                 strategy_options["force_plan"] = choice.datapaths_plan.plan
         runner = self.strategy_instance(strategy, **strategy_options)
-        return self.engine.execute_prepared(runner, twig, xpath=xpath)
+        with self.telemetry.span("execute", strategy=strategy):
+            return self.engine.execute_prepared(runner, twig, xpath=xpath)
 
     # ------------------------------------------------------------------
     # Stats hooks for the shared batch loop
@@ -401,10 +483,25 @@ class QueryService(ServingFacade):
         return self.engine.stats.diff(before)
 
     # ------------------------------------------------------------------
+    # Observability scrape hooks
+    # ------------------------------------------------------------------
+    def _activity_counters(self) -> dict[str, int]:
+        return self.engine.stats.snapshot()
+
+    def _cache_reports(self) -> dict[str, dict[str, object]]:
+        with self._lock:
+            return {
+                "plan": self.plan_cache.describe(),
+                "result": self.result_cache.describe(),
+                "choice": self.choice_cache.describe(),
+            }
+
+    # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
         """Cache and optimizer counters (for logs and benchmarks)."""
         with self._lock:
             return {
+                "telemetry": self.telemetry.describe(),
                 "plan_cache": self._cache_report(self.plan_cache),
                 "result_cache": self._cache_report(self.result_cache),
                 "choice_cache": self._cache_report(self.choice_cache),

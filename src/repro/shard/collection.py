@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from ..errors import DocumentError
+from ..obs import Telemetry
 from ..storage.stats import StatsCollector, maintenance_cost, sum_snapshots
 from ..xmltree.document import Document
 from .placement import PlacementPolicy, make_placement
@@ -109,16 +110,23 @@ class ShardedCollection:
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard, got {num_shards}")
         if replicas < 1:
             raise ValueError(f"need at least one replica, got {replicas}")
         self.placement = make_placement(placement)
+        #: One observability hub for the whole collection — every shard,
+        #: replica and per-replica service shares it, so one query's
+        #: spans land in one trace and every layer's ops events land in
+        #: one ordered log.  The sharded query service adopts it.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         cache_options = dict(
             plan_cache_size=plan_cache_size,
             result_cache_size=result_cache_size,
             result_cache_ttl=result_cache_ttl,
+            telemetry=self.telemetry,
         )
         if replicas == 1:
             self.shards: list[Union[Shard, ReplicatedShard]] = [
@@ -599,6 +607,13 @@ class AutoRebalancer:
             else 2 * collection.num_shards
         )
         self.enabled = enabled
+        #: The collection's hub (a disabled stand-in when the collection
+        #: has none), so trigger/completion/failure events land in the
+        #: same ops log as the replica transitions they interleave with.
+        telemetry = getattr(collection, "telemetry", None)
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(enabled=False)
+        )
         self.stats = StatsCollector()
         self.last_report: Optional[RebalanceReport] = None
         #: ``repr`` of the most recent run's exception, ``None`` after a
@@ -666,6 +681,12 @@ class AutoRebalancer:
                     {"episode": self._episodes_total, "trigger_ratio": ratio}
                 )
                 del self._episodes[: -self.MAX_EPISODES]
+                self.telemetry.event(
+                    "auto-rebalance",
+                    phase="triggered",
+                    episode=self._episodes_total,
+                    ratio=ratio,
+                )
                 if self._executor is not None:
                     # Submitted inside the same locked section that
                     # disarmed the trigger: the future is published
@@ -701,6 +722,13 @@ class AutoRebalancer:
                 self.last_error = repr(error)
                 if self._episodes:
                     self._episodes[-1]["error"] = repr(error)
+                episode = self._episodes_total
+            self.telemetry.event(
+                "auto-rebalance",
+                phase="failed",
+                episode=episode,
+                error=repr(error),
+            )
             return
         with self._lock:
             self.stats.auto_rebalances += 1
@@ -708,6 +736,14 @@ class AutoRebalancer:
             self.last_error = None
             if self._episodes:
                 self._episodes[-1]["report"] = dataclasses.asdict(report)
+            episode = self._episodes_total
+        self.telemetry.event(
+            "auto-rebalance",
+            phase="completed",
+            episode=episode,
+            documents_moved=report.documents_moved,
+            nodes_moved=report.nodes_moved,
+        )
 
     def _reap(self) -> None:
         """Clear a finished background run so the firing gate re-opens.

@@ -67,6 +67,7 @@ from ..errors import (
     QueryNotSupportedError,
     QueryParseError,
 )
+from ..obs import Telemetry
 from ..planner.evaluator import QueryResult, TwigQueryEngine
 from ..query.match import NaiveMatcher
 from ..query.twig import TwigPattern
@@ -104,6 +105,7 @@ class Shard:
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.index = index
         self.db = XmlDatabase()
@@ -114,7 +116,11 @@ class Shard:
             plan_cache_size=plan_cache_size,
             result_cache_size=result_cache_size,
             result_cache_ttl=result_cache_ttl,
+            telemetry=telemetry,
         )
+        #: The stack-wide observability hub; the collection passes one
+        #: shared instance down, a standalone shard gets its service's.
+        self.telemetry = self.service.telemetry
         #: Serializes writes *to this shard* (watermark read + engine add
         #: + span record must be atomic per shard), without making other
         #: shards' reads or writes wait.
@@ -150,6 +156,7 @@ class Shard:
         query: Union[str, TwigPattern],
         strategy: str = AUTO_STRATEGY,
         use_result_cache: bool = True,
+        query_id: Optional[str] = None,
         **strategy_options,
     ) -> QueryResult:
         """One scattered query, through this shard's service."""
@@ -157,6 +164,7 @@ class Shard:
             query,
             strategy=strategy,
             use_result_cache=use_result_cache,
+            query_id=query_id,
             **strategy_options,
         )
 
@@ -446,6 +454,7 @@ class ReplicatedShard:
         suspect_after: int = 1,
         dead_after: int = 3,
         probe_interval: int = 16,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if replicas < 1:
             raise ValueError(f"need at least one replica, got {replicas}")
@@ -458,10 +467,15 @@ class ReplicatedShard:
             raise ValueError(f"probe_interval must be positive: {probe_interval}")
         self.index = index
         self.picker = make_picker(read_picker)
+        #: One hub for the whole replica set — carried in
+        #: :attr:`_shard_options` so every replica (including the fresh
+        #: one a :meth:`revive` builds) shares it.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._shard_options = dict(
             plan_cache_size=plan_cache_size,
             result_cache_size=result_cache_size,
             result_cache_ttl=result_cache_ttl,
+            telemetry=self.telemetry,
         )
         self.replicas = [
             Shard(index, **self._shard_options) for _ in range(replicas)
@@ -545,6 +559,7 @@ class ReplicatedShard:
         query: Union[str, TwigPattern],
         strategy: str = AUTO_STRATEGY,
         use_result_cache: bool = True,
+        query_id: Optional[str] = None,
         **strategy_options,
     ) -> QueryResult:
         """Route one read to a healthy replica, failing over on error.
@@ -561,31 +576,43 @@ class ReplicatedShard:
         replica has been tried or quarantined.  Deterministic query
         errors (:data:`QUERY_ERRORS`) fail the same way everywhere, so
         they re-raise immediately, demoting nothing and retrying
-        nowhere.
+        nowhere.  Each attempt runs under a ``replica`` span, so a
+        failed-over read's trace shows the failed attempt (with its
+        error) next to the retry that answered.
         """
         query_key = query if isinstance(query, str) else query.to_xpath()
         attempted: set[int] = set()
         while True:
             choice = self._pick_replica(query_key, attempted)
-            try:
-                result = self.replicas[choice].execute(
-                    query,
-                    strategy=strategy,
-                    use_result_cache=use_result_cache,
-                    **strategy_options,
-                )
-            except QUERY_ERRORS:
-                # The query itself is bad (parse/planning/lookup): every
-                # replica would fail it identically, so this says nothing
-                # about the replica that happened to serve it.
-                raise
-            except Exception as error:
-                attempted.add(choice)
-                if not self._record_read_failure(choice, error, attempted):
+            result: Optional[QueryResult] = None
+            with self.telemetry.span(
+                "replica", shard=self.index, replica=choice
+            ) as span:
+                try:
+                    result = self.replicas[choice].execute(
+                        query,
+                        strategy=strategy,
+                        use_result_cache=use_result_cache,
+                        query_id=query_id,
+                        **strategy_options,
+                    )
+                except QUERY_ERRORS:
+                    # The query itself is bad (parse/planning/lookup): every
+                    # replica would fail it identically, so this says nothing
+                    # about the replica that happened to serve it.
+                    span.annotate(outcome="query-error")
                     raise
+                except Exception as error:
+                    attempted.add(choice)
+                    span.annotate(outcome="failed", error=repr(error))
+                    if not self._record_read_failure(choice, error, attempted):
+                        raise
+                else:
+                    span.annotate(outcome="ok")
+                finally:
+                    self._finish_read(choice)
+            if result is None:
                 continue
-            finally:
-                self._finish_read(choice)
             self._record_read_success(choice)
             return result
 
@@ -651,6 +678,13 @@ class ReplicatedShard:
             health.successes += 1
             if health.state == REPLICA_SUSPECT:
                 health.state = REPLICA_HEALTHY
+                self.telemetry.event(
+                    "replica-health",
+                    shard=self.index,
+                    replica=choice,
+                    state=REPLICA_HEALTHY,
+                    reason="suspect redeemed by successful read",
+                )
 
     def _record_read_failure(
         self, choice: int, error: Exception, attempted: set[int]
@@ -666,12 +700,25 @@ class ReplicatedShard:
                 and health.consecutive_failures >= self.suspect_after
             ):
                 health.state = REPLICA_SUSPECT
+                self.telemetry.event(
+                    "replica-health",
+                    shard=self.index,
+                    replica=choice,
+                    state=REPLICA_SUSPECT,
+                    error=repr(error),
+                )
             if (
                 health.state != REPLICA_DEAD
                 and health.consecutive_failures >= self.dead_after
             ):
                 health.state = REPLICA_DEAD
                 self.ops_stats.replicas_failed += 1
+                self.telemetry.event(
+                    "replica-quarantined",
+                    shard=self.index,
+                    replica=choice,
+                    reason=f"read failures reached dead_after: {error!r}",
+                )
             retry = any(
                 slot not in attempted and health.state != REPLICA_DEAD
                 for slot, health in enumerate(self._health)
@@ -794,6 +841,12 @@ class ReplicatedShard:
                 health.state = REPLICA_DEAD
                 health.last_error = reason
                 self.ops_stats.replicas_failed += 1
+                self.telemetry.event(
+                    "replica-quarantined",
+                    shard=self.index,
+                    replica=position,
+                    reason=reason,
+                )
 
     def _check_alignment(self) -> None:
         """Quarantine any live secondary whose watermark left the primary's.
@@ -913,6 +966,13 @@ class ReplicatedShard:
                 self.replicas[replica_index] = fresh
                 self._health[replica_index] = ReplicaHealth()
                 self.ops_stats.replicas_revived += 1
+            self.telemetry.event(
+                "replica-revived",
+                shard=self.index,
+                replica=replica_index,
+                replayed=len(self._oplog),
+                watermark=fresh.watermark,
+            )
             return fresh
 
     # ------------------------------------------------------------------

@@ -54,12 +54,14 @@ the concurrency tests assert exactly it.
 
 from __future__ import annotations
 
+import contextvars
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence, Union
 
 from ..errors import DocumentError
+from ..obs import Telemetry
+from ..obs.clock import now as _now
 from ..planner.evaluator import QueryResult
 from ..query.parser import parse_xpath
 from ..query.twig import TwigPattern
@@ -99,6 +101,7 @@ class ShardedQueryService(ServingFacade):
         rebalance_interval: int = 8,
         rebalance_min_documents: Optional[int] = None,
         rebalance_background: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if collection is None:
             collection = ShardedCollection(
@@ -109,8 +112,13 @@ class ShardedQueryService(ServingFacade):
                 plan_cache_size=plan_cache_size,
                 result_cache_size=result_cache_size,
                 result_cache_ttl=result_cache_ttl,
+                telemetry=telemetry,
             )
         self.collection = collection
+        #: Adopt the collection's hub: shards, replicas and per-replica
+        #: services already share it, so the scatter spans this facade
+        #: opens become parents of the spans those layers open.
+        self.telemetry = collection.telemetry
         self.executor = ThreadPoolExecutor(
             max_workers=max_workers or self.collection.num_shards,
             thread_name_prefix="shard",
@@ -261,6 +269,7 @@ class ShardedQueryService(ServingFacade):
         strategy: str = AUTO_STRATEGY,
         use_result_cache: bool = True,
         documents: Optional[Sequence[str]] = None,
+        query_id: Optional[str] = None,
         **strategy_options,
     ) -> QueryResult:
         """Evaluate one query across the shards and merge the answers.
@@ -270,15 +279,31 @@ class ShardedQueryService(ServingFacade):
         merged answer contains matches from those documents alone.
         ``strategy`` and the caching knobs apply per shard —
         ``"auto"`` in particular lets every shard pick the plan its own
-        statistics price cheapest.
+        statistics price cheapest.  ``query_id`` names the request in
+        the query's trace (and in every shard's and replica's child
+        spans), so batch items and slow-query entries attribute back to
+        it.
         """
-        started = time.perf_counter()
+        started = _now()
         xpath = query if isinstance(query, str) else query.to_xpath()
-        targets = self._target_shards(documents)
-        partials = self._scatter(
-            targets, xpath, strategy, use_result_cache, strategy_options
+        attributes = {"tier": "sharded", "xpath": xpath}
+        if query_id is not None:
+            attributes["query_id"] = query_id
+        with self.telemetry.span("query", **attributes) as root:
+            targets = self._target_shards(documents)
+            with self.telemetry.span("scatter", shards=len(targets)):
+                partials = self._scatter(
+                    targets, xpath, strategy, use_result_cache, strategy_options,
+                    query_id=query_id,
+                )
+            with self.telemetry.span("gather"):
+                result = self._gather(xpath, strategy, targets, partials, started)
+            root.annotate(
+                strategy=result.strategy, cached=result.cached, ids=len(result.ids)
+            )
+        self.telemetry.record_query(
+            "sharded", result.strategy, root.duration_seconds, result.cached
         )
-        result = self._gather(xpath, strategy, targets, partials, started)
         with self._counter_lock:
             self.queries_executed += 1
         # The between-queries heartbeat of the self-driving tier: the
@@ -320,26 +345,43 @@ class ShardedQueryService(ServingFacade):
         strategy: str,
         use_result_cache: bool,
         strategy_options: dict,
+        query_id: Optional[str] = None,
     ) -> list[QueryResult]:
         """Run the query on every target shard, in parallel past one.
 
         Routing through the shard surface (not ``shard.service``
         directly) is what lets a replicated shard fan the read out to
-        one of its replicas.
+        one of its replicas.  Each per-shard leg runs under its own
+        ``shard`` span.  Context variables do not cross
+        ``ThreadPoolExecutor.submit`` by themselves (the worker runs in
+        whatever context it last had), so each parallel leg is
+        submitted through a fresh ``contextvars.copy_context()``: the
+        worker sees this thread's current span as the parent, child
+        spans attach to the right trace, and sibling workers'
+        context operations cannot interfere because each mutates its
+        private copy (appending to the shared parent's child list is a
+        single atomic list operation).
         """
         def run(shard: Shard) -> QueryResult:
-            return shard.execute(
-                xpath,
-                strategy=strategy,
-                use_result_cache=use_result_cache,
-                **strategy_options,
-            )
+            with self.telemetry.span("shard", shard=shard.index) as span:
+                result = shard.execute(
+                    xpath,
+                    strategy=strategy,
+                    use_result_cache=use_result_cache,
+                    query_id=query_id,
+                    **strategy_options,
+                )
+                span.annotate(strategy=result.strategy, cached=result.cached)
+                return result
 
         if len(targets) <= 1:
             # No gain from thread hand-off for a pruned or single-shard
             # scatter; run inline.
             return [run(shard) for shard, _ in targets]
-        futures = [self.executor.submit(run, shard) for shard, _ in targets]
+        futures = [
+            self.executor.submit(contextvars.copy_context().run, run, shard)
+            for shard, _ in targets
+        ]
         return [future.result() for future in futures]
 
     def _gather(
@@ -377,7 +419,7 @@ class ShardedQueryService(ServingFacade):
             strategy=merged_strategy,
             xpath=xpath,
             ids=merged_ids,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=_now() - started,
             cost=sum_snapshots(*(partial.cost for partial in partials)),
             cached=bool(partials) and all(partial.cached for partial in partials),
         )
@@ -422,9 +464,32 @@ class ShardedQueryService(ServingFacade):
         return sum_snapshots(*diffs)
 
     # ------------------------------------------------------------------
+    # Observability scrape hooks
+    # ------------------------------------------------------------------
+    def _activity_counters(self) -> dict[str, int]:
+        """All shards' + the rebalancer's counters, summed for the scrape."""
+        return sum_snapshots(
+            self.operations.stats.snapshot(),
+            *(shard.stats_snapshot() for shard in self.collection.shards),
+        )
+
+    def _cache_reports(self) -> dict[str, dict[str, object]]:
+        reports: dict[str, dict[str, object]] = {}
+        for shard in self.collection.shards:
+            service_report = shard.service_report()
+            for cache_name, short in (
+                ("plan_cache", "plan"),
+                ("result_cache", "result"),
+                ("choice_cache", "choice"),
+            ):
+                reports[f"shard{shard.index}-{short}"] = service_report[cache_name]
+        return reports
+
+    # ------------------------------------------------------------------
     def describe(self) -> dict[str, object]:
         """Topology, per-shard summaries and aggregated cache counters."""
         report = self.collection.describe()
+        report["telemetry"] = self.telemetry.describe()
         shard_reports = [shard["service"] for shard in report["shards"]]
         aggregated: dict[str, dict[str, int]] = {}
         for cache_name in ("plan_cache", "result_cache", "choice_cache"):

@@ -41,6 +41,20 @@ PAGE_READ_WEIGHT = 10
 PAGE_WRITE_WEIGHT = 10
 
 
+#: The StatsCollector counters that record self-driving *activity*
+#: (retries, failovers, revives, rebalances, moves) rather than logical
+#: cost.  The observability scrape exports these — alongside the cost
+#: counters — as ``repro_stats_<name>`` gauges; keeping the list here
+#: means the metric surface and the dataclass cannot drift apart.
+ACTIVITY_COUNTERS = (
+    "documents_moved",
+    "reads_retried",
+    "replicas_failed",
+    "replicas_revived",
+    "auto_rebalances",
+)
+
+
 def weighted_cost(counters: Mapping[str, int]) -> int:
     """The aggregate cost proxy over a counter mapping.
 

@@ -1,0 +1,18 @@
+"""RPR006 fixture: four ad-hoc wall-clock reads the checker must flag."""
+
+import time
+from time import perf_counter  # violation: banned name imported from time
+
+
+def measure(work):
+    started = time.perf_counter()  # violation: ad-hoc perf_counter
+    work()
+    return time.perf_counter_ns() - started  # violation: perf_counter_ns
+
+
+def stamp():
+    return time.time()  # violation: wall-clock read
+
+
+def indirect():
+    return perf_counter()

@@ -1,0 +1,25 @@
+"""RPR006 fixture: timing discipline respected.
+
+The shared clock is imported from ``repro.obs.clock``; the only direct
+``time`` uses are the deliberately unbanned ones (``monotonic`` for
+injectable TTL clocks, ``sleep`` for fault delays).
+"""
+
+import time
+
+from repro.obs.clock import now
+
+
+def measure(work):
+    started = now()
+    work()
+    return now() - started
+
+
+def ttl_expired(deadline):
+    # monotonic is the cache TTL clock, injectable in tests — not banned.
+    return time.monotonic() >= deadline
+
+
+def delay(seconds):
+    time.sleep(seconds)

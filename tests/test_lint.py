@@ -50,6 +50,7 @@ PAIRS = [
     ("RPR003", FIXTURES / "indexes/good.py", FIXTURES / "indexes/bad.py", 2),
     ("RPR004", FIXTURES / "rpr004_good.py", FIXTURES / "rpr004_bad.py", 4),
     ("RPR005", FIXTURES / "rpr005_good.py", FIXTURES / "rpr005_bad.py", 4),
+    ("RPR006", FIXTURES / "rpr006_good.py", FIXTURES / "rpr006_bad.py", 4),
 ]
 
 

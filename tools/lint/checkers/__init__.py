@@ -13,6 +13,7 @@ from .contracts import MaintenanceContractChecker
 from .costs import CostAccountingChecker
 from .executors import ExecutorHygieneChecker
 from .locks import LockDisciplineChecker, LockOrderingChecker
+from .timing import TimingDisciplineChecker
 
 #: Every registered checker class, in code order.
 ALL_CHECKERS: tuple[type[Checker], ...] = (
@@ -21,6 +22,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     CostAccountingChecker,
     MaintenanceContractChecker,
     ExecutorHygieneChecker,
+    TimingDisciplineChecker,
 )
 
 #: ``code -> checker class`` for lookups and ``--select`` validation.

@@ -1,0 +1,80 @@
+"""RPR006 timing-discipline checker.
+
+Every latency number the repository reports — span durations, histogram
+observations, bench rounds — must come from one clock so figures are
+comparable across layers and a test can swap in a deterministic clock
+in one place.  That clock lives in ``repro.obs.clock`` (``now``, an
+alias of ``time.perf_counter``); ``docs/OBSERVABILITY.md`` and
+``docs/ANALYSIS.md`` describe the rule.
+
+This checker bans ad-hoc wall-clock reads everywhere except the
+``repro/obs`` package itself: referencing ``time.time`` /
+``time.perf_counter`` / ``time.perf_counter_ns`` (call or alias — an
+alias would just hide the call site), and importing those names from
+``time`` directly.  ``time.monotonic`` (cache TTL clock, injectable)
+and ``time.sleep`` (fault injection delays) are deliberately not
+banned: they are not measurement.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from .base import Checker
+
+#: ``time`` module attributes whose use constitutes ad-hoc measurement.
+BANNED_ATTRS = frozenset({"time", "perf_counter", "perf_counter_ns"})
+
+
+class TimingDisciplineChecker(Checker):
+    code = "RPR006"
+    name = "timing-discipline"
+    description = (
+        "ad-hoc time.time()/time.perf_counter() outside repro/obs; "
+        "use repro.obs.clock.now so every latency shares one clock"
+    )
+    # Applies everywhere except the clock's own home.
+    scope = ()
+
+    def matches(self, path) -> bool:
+        return "repro/obs" not in path.as_posix()
+
+    def check_file(self, path, tree, source):
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                if (
+                    node.attr in BANNED_ATTRS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "time"
+                ):
+                    findings.append(
+                        Finding(
+                            code=self.code,
+                            path=path,
+                            line=node.lineno,
+                            message=(
+                                f"ad-hoc 'time.{node.attr}' — import the "
+                                "shared clock instead ('from repro.obs.clock "
+                                "import now') so every latency measurement "
+                                "uses one source"
+                            ),
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_ATTRS:
+                        findings.append(
+                            Finding(
+                                code=self.code,
+                                path=path,
+                                line=node.lineno,
+                                message=(
+                                    f"importing '{alias.name}' from 'time' — "
+                                    "use repro.obs.clock.now so every "
+                                    "latency measurement uses one source"
+                                ),
+                            )
+                        )
+        return findings
