@@ -222,6 +222,63 @@ class DataPathsIndex(PathIndex):
                 continue
             yield PathMatch(labels=labels, ids=ids, value=leaf_value, head_id=row_head)
 
+    def free_lookup_payloads(
+        self,
+        segment_labels: Sequence[str],
+        value: Optional[str] = None,
+        anchored: bool = False,
+    ) -> list[tuple]:
+        """Batch :meth:`free_lookup` returning raw stored payloads."""
+        return self.bound_lookup_payloads(
+            VIRTUAL_ROOT_ID, segment_labels, value=value, anchored=anchored
+        )
+
+    def bound_lookup_payloads(
+        self,
+        head_id: int,
+        segment_labels: Sequence[str],
+        value: Optional[str] = None,
+        anchored: bool = False,
+    ) -> list[tuple]:
+        """Batch :meth:`bound_lookup` returning raw stored payloads.
+
+        Payloads are the stored ``(schema_path, ids, leaf_value,
+        head_id)`` tuples, consumed by the columnar kernels without
+        per-row :class:`~repro.indexes.base.PathMatch` construction.
+        Cost counters match a fully consumed :meth:`bound_lookup`
+        exactly (same prefix, same batch leaf walk).
+        """
+        db = self._require_built()
+        assert self._tree is not None
+        if self.head_pruner is not None and head_id != VIRTUAL_ROOT_ID:
+            head_label = db.node(head_id).label
+            if not self.head_pruner.keeps_label(head_label):
+                raise UnsupportedLookupError(
+                    f"DATAPATHS rows headed at {head_label!r} were pruned by the "
+                    "workload-based HeadId pruning (Section 4.3)"
+                )
+        reverse_labels = tuple(reversed(tuple(segment_labels)))
+        tag_ids = labels_to_tag_ids(db, reverse_labels)
+        if tag_ids is None:
+            return []
+        if self.schema_path_dictionary:
+            return [
+                (match.labels, match.ids, match.value, match.head_id)
+                for match in self._bound_lookup_dictionary(
+                    head_id, tuple(segment_labels), value, anchored
+                )
+            ]
+        prefix = encode_key((head_id, value, *tag_ids))
+        items = self._tree.scan_prefix_items(prefix)
+        if anchored:
+            wanted = self._expected_anchored_length(
+                head_id, len(tuple(segment_labels))
+            )
+            return [
+                payload for _key, payload in items if len(payload[0]) == wanted
+            ]
+        return [payload for _key, payload in items]
+
     def _expected_anchored_length(self, head_id: int, segment_length: int) -> int:
         if head_id == VIRTUAL_ROOT_ID:
             return segment_length

@@ -196,6 +196,47 @@ class RootPathsIndex(PathIndex):
                 continue
             yield PathMatch(labels=labels, ids=ids, value=leaf_value, head_id=None)
 
+    def lookup_payloads(
+        self,
+        segment_labels: Sequence[str],
+        value: Optional[str] = None,
+        anchored: bool = False,
+    ) -> list[tuple]:
+        """Batch :meth:`lookup` returning raw stored payloads.
+
+        The columnar kernels consume ``(schema_path, ids, leaf_value)``
+        payload tuples directly instead of per-row
+        :class:`~repro.indexes.base.PathMatch` objects.  Charges exactly
+        the counters a fully consumed :meth:`lookup` would (same key
+        prefix, same batch leaf walk via
+        :meth:`~repro.storage.btree.BPlusTree.scan_prefix_items`).
+        """
+        db = self._require_built()
+        assert self._tree is not None
+        tag_ids = labels_to_tag_ids(db, self._key_labels(segment_labels))
+        if tag_ids is None:
+            return []
+        if self.schema_path_dictionary:
+            return [
+                (match.labels, match.ids, match.value)
+                for match in self._lookup_with_dictionary(
+                    segment_labels, value, anchored
+                )
+            ]
+        if not self.reverse_schema_path and not anchored:
+            raise UnsupportedLookupError(
+                "forward-schema-path ROOTPATHS cannot answer '//' lookups with "
+                "a prefix scan; rebuild with reverse_schema_path=True"
+            )
+        prefix = encode_key((value, *tag_ids))
+        items = self._tree.scan_prefix_items(prefix)
+        if anchored:
+            wanted = len(segment_labels)
+            return [
+                payload for _key, payload in items if len(payload[0]) == wanted
+            ]
+        return [payload for _key, payload in items]
+
     def _lookup_with_dictionary(
         self, segment_labels: Sequence[str], value: Optional[str], anchored: bool
     ) -> Iterator[PathMatch]:

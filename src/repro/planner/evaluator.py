@@ -91,9 +91,13 @@ class TwigQueryEngine:
         self,
         db: XmlDatabase,
         stats: Optional[StatsCollector] = None,
+        use_kernels: bool = True,
     ) -> None:
         self.db = db
         self.stats = stats if stats is not None else StatsCollector()
+        #: Default for the strategies' columnar-kernel fast path; any
+        #: :meth:`strategy` call can still override it per instance.
+        self.use_kernels = bool(use_kernels)
         self.indexes: dict[str, PathIndex] = {}
         #: Options used for the most recent build of each index, replayed
         #: when an evicted index is rebuilt on demand (so ablation
@@ -232,6 +236,7 @@ class TwigQueryEngine:
         """Instantiate a strategy, building its required indices if needed."""
         self.ensure_indexes_for(name)
         strategy_class = self._strategy_class(name)
+        options.setdefault("use_kernels", self.use_kernels)
         return strategy_class(self.db, self.indexes, stats=self.stats, **options)
 
     def execute(

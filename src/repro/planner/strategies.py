@@ -33,6 +33,8 @@ from typing import Iterable, Optional, Sequence
 from ..errors import PlanningError
 from ..indexes.asr import AccessSupportRelationsIndex
 from ..indexes.base import PathIndex, PathMatch
+from ..kernels.columns import PathInterner
+from ..kernels.join import CompiledBranch, CompiledTwig
 from ..indexes.dataguide import DataGuideIndex
 from ..indexes.datapaths import DataPathsIndex
 from ..indexes.edge import EdgeIndex
@@ -56,16 +58,24 @@ class EvaluationStrategy(abc.ABC):
     name: str = "abstract"
     #: Index names (keys into the engine's index dict) this strategy needs.
     required_indexes: tuple[str, ...] = ()
+    #: DATAPATHS payloads carry a bound head id the extractors must read.
+    bound_payloads: bool = False
+    #: Compiled twig plans kept per strategy before the cache is reset.
+    PLAN_CACHE_LIMIT = 128
 
     def __init__(
         self,
         db: XmlDatabase,
         indexes: dict[str, PathIndex],
         stats: Optional[StatsCollector] = None,
+        use_kernels: bool = True,
     ) -> None:
         self.db = db
         self.indexes = indexes
         self.stats = stats if stats is not None else GLOBAL_STATS
+        self.use_kernels = bool(use_kernels)
+        self._interner = PathInterner()
+        self._twig_plans: dict[TwigPattern, CompiledTwig] = {}
         for required in self.required_indexes:
             if required not in indexes:
                 raise PlanningError(
@@ -75,6 +85,10 @@ class EvaluationStrategy(abc.ABC):
     # ------------------------------------------------------------------
     def evaluate(self, twig: TwigPattern) -> list[int]:
         """Sorted ids of database nodes matching the twig's output node."""
+        if self.use_kernels:
+            plan = self._twig_plan(twig)
+            rows = [self._kernel_branch_rows(plan, branch) for branch in plan.branches]
+            return plan.join.run(rows, self.stats)
         analysis = TwigAnalysis(twig)
         relations = []
         for path in analysis.paths:
@@ -88,6 +102,37 @@ class EvaluationStrategy(abc.ABC):
                 )
             )
         return join_branches(analysis, relations, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # Columnar kernel path
+    # ------------------------------------------------------------------
+    def _twig_plan(self, twig: TwigPattern) -> CompiledTwig:
+        """The cached :class:`CompiledTwig` for a twig object.
+
+        Twig patterns hash by identity, so a live twig object keys its
+        compiled plan directly; the cache resets past
+        ``PLAN_CACHE_LIMIT`` distinct twigs to bound memory.
+        """
+        plan = self._twig_plans.get(twig)
+        if plan is None:
+            if len(self._twig_plans) >= self.PLAN_CACHE_LIMIT:
+                self._twig_plans.clear()
+            plan = CompiledTwig(
+                TwigAnalysis(twig), self._interner, bound=self.bound_payloads
+            )
+            self._twig_plans[twig] = plan
+        return plan
+
+    def _kernel_branch_rows(
+        self, plan: CompiledTwig, branch: CompiledBranch
+    ) -> list[tuple]:
+        """Kernel-path row production; defaults to the legacy producer.
+
+        Strategies whose indexes expose batch payload lookups override
+        this; the rest keep their row production and still gain the
+        compiled join.
+        """
+        return self._branch_rows(plan.analysis, branch.path)
 
     @abc.abstractmethod
     def _branch_rows(
@@ -154,6 +199,14 @@ class RootPathsStrategy(EvaluationStrategy):
             matches, pattern, self._needed_positions(path), already_exact=exact
         )
 
+    def _kernel_branch_rows(
+        self, plan: CompiledTwig, branch: CompiledBranch
+    ) -> list[tuple]:
+        payloads = self.index.lookup_payloads(
+            branch.trailing, branch.value, anchored=branch.exact
+        )
+        return branch.extractor.rows(payloads)
+
 
 # ----------------------------------------------------------------------
 # DATAPATHS (merge plan and index-nested-loop plan)
@@ -163,6 +216,7 @@ class DataPathsStrategy(EvaluationStrategy):
 
     name = "datapaths"
     required_indexes = ("datapaths",)
+    bound_payloads = True
 
     def __init__(
         self,
@@ -170,8 +224,9 @@ class DataPathsStrategy(EvaluationStrategy):
         indexes: dict[str, PathIndex],
         stats: Optional[StatsCollector] = None,
         force_plan: Optional[str] = None,
+        use_kernels: bool = True,
     ) -> None:
-        super().__init__(db, indexes, stats)
+        super().__init__(db, indexes, stats, use_kernels=use_kernels)
         if force_plan not in (None, "merge", "inl"):
             raise PlanningError(f"unknown DATAPATHS plan {force_plan!r}")
         self.force_plan = force_plan
@@ -183,12 +238,89 @@ class DataPathsStrategy(EvaluationStrategy):
 
     # -- plan selection -------------------------------------------------
     def evaluate(self, twig: TwigPattern) -> list[int]:
+        if self.use_kernels:
+            plan = self._twig_plan(twig)
+            analysis = plan.analysis
+            choice = choose_datapaths_plan(
+                analysis, self.index, force=self.force_plan
+            )
+            self.last_plan = choice
+            if choice.plan == "inl" and not analysis.is_single_path:
+                return self._kernel_inl(plan, choice)
+            rows = [self._kernel_branch_rows(plan, branch) for branch in plan.branches]
+            return plan.join.run(rows, self.stats)
         analysis = TwigAnalysis(twig)
         choice = choose_datapaths_plan(analysis, self.index, force=self.force_plan)
         self.last_plan = choice
         if choice.plan == "inl" and not analysis.is_single_path:
             return self._evaluate_inl(analysis, choice)
         return self._evaluate_merge(analysis)
+
+    def _kernel_branch_rows(
+        self, plan: CompiledTwig, branch: CompiledBranch
+    ) -> list[tuple]:
+        payloads = self.index.free_lookup_payloads(
+            branch.trailing, branch.value, anchored=branch.exact
+        )
+        return branch.extractor.rows(payloads)
+
+    def _kernel_inl(
+        self, plan: CompiledTwig, choice: DataPathsPlanChoice
+    ) -> list[int]:
+        """Compiled index-nested-loop plan (mirrors :meth:`_evaluate_inl`).
+
+        The per-outer-branch probe layout — head-column positions, probe
+        patterns, placement caches — is compiled once and stashed on the
+        twig plan; each execution is the same probe sequence with the
+        same ``join_probes`` charge points as the legacy loop.
+        """
+        spec = plan.inl_plans.get(choice.outer_index)
+        if spec is None:
+            spec = _CompiledInl(plan.analysis, choice.outer_index)
+            plan.inl_plans[choice.outer_index] = spec
+        outer_rows = self._kernel_branch_rows(plan, plan.branches[choice.outer_index])
+        index = self.index
+        stats = self.stats
+        results: set[int] = set()
+        for row in outer_rows:
+            satisfied = True
+            output_candidates: Optional[set[int]] = None
+            for other in spec.others:
+                head_id = row[other.head_pos]
+                stats.join_probes += 1
+                matches = other.probe.run(index, head_id)
+                if not matches:
+                    satisfied = False
+                    break
+                if other.extract_output:
+                    extracted = _extract_probe_ids(matches, other.target_index)
+                    if output_candidates is None:
+                        output_candidates = extracted
+                    else:
+                        output_candidates &= extracted
+                    if not output_candidates:
+                        satisfied = False
+                        break
+            if not satisfied:
+                continue
+            if spec.output_pos is not None:
+                results.add(row[spec.output_pos])
+            elif output_candidates is not None:
+                results.update(output_candidates)
+            else:
+                head_id = row[spec.trunk_head_pos]
+                if spec.trunk_probe is None:
+                    results.add(head_id)
+                    continue
+                stats.join_probes += 1
+                matches = spec.trunk_probe.run(index, head_id)
+                for payload, placement in matches:
+                    labels, ids = payload[0], payload[1]
+                    position = placement[spec.trunk_last] - (len(labels) - len(ids))
+                    identifier = payload[3] if position < 0 else ids[position]
+                    if identifier is not None:
+                        results.add(identifier)
+        return sorted(results)
 
     # -- merge plan ------------------------------------------------------
     def _evaluate_merge(self, analysis: TwigAnalysis) -> list[int]:
@@ -332,6 +464,152 @@ class DataPathsStrategy(EvaluationStrategy):
             if identifier is not None:
                 extracted.add(identifier)
         return extracted
+
+
+# ----------------------------------------------------------------------
+# Compiled DATAPATHS INL probe layout (kernel path)
+# ----------------------------------------------------------------------
+#: Stand-in probe result for an empty below-chain: the head itself
+#: satisfies the branch, exactly like the legacy synthetic PathMatch.
+#: Never hits the index and never feeds extraction (target is None).
+_SYNTHETIC_PROBE: list[tuple[tuple, tuple[int, ...]]] = [(((), (), None, None), (0,))]
+
+
+class _ProbeSpec:
+    """One compiled BoundIndex probe below a fixed trunk attachment.
+
+    Mirrors :meth:`DataPathsStrategy._probe_nodes_below` over raw
+    ``(schema_path, ids, leaf_value, head_id)`` payloads, with placement
+    verification memoised per schema path (placements depend only on
+    labels, never on the probed head id).
+    """
+
+    __slots__ = ("empty", "value", "exact", "trailing", "verify_pattern",
+                 "_placements", "_exact_placements")
+
+    def __init__(self, below: tuple[TwigNode, ...], value: Optional[str]) -> None:
+        self.empty = not below
+        self.value = value
+        self._placements: dict[tuple[str, ...], tuple[tuple[int, ...], ...]] = {}
+        self._exact_placements: dict[int, tuple[int, ...]] = {}
+        if self.empty:
+            self.exact = False
+            self.trailing: tuple[str, ...] = ()
+            self.verify_pattern: Optional[PathPattern] = None
+            return
+        segments, anchored = split_segments(below)
+        self.exact = len(segments) == 1 and anchored
+        self.trailing = segments[-1]
+        self.verify_pattern = (
+            None if self.exact else PathPattern(segments, anchored=anchored)
+        )
+
+    def run(self, index: DataPathsIndex, head_id: int) -> list[tuple]:
+        if self.empty:
+            return _SYNTHETIC_PROBE
+        payloads = index.bound_lookup_payloads(
+            head_id, self.trailing, value=self.value, anchored=self.exact
+        )
+        results: list[tuple] = []
+        if self.exact:
+            cache = self._exact_placements
+            for payload in payloads:
+                length = len(payload[0])
+                placement = cache.get(length)
+                if placement is None:
+                    placement = tuple(range(1, length))
+                    cache[length] = placement
+                results.append((payload, placement))
+            return results
+        cache = self._placements
+        pattern = self.verify_pattern
+        for payload in payloads:
+            labels = payload[0]
+            shifted = cache.get(labels)
+            if shifted is None:
+                shifted = tuple(
+                    tuple(position + 1 for position in placement)
+                    for placement in match_positions(pattern, labels[1:])
+                )
+                cache[labels] = shifted
+            for placement in shifted:
+                results.append((payload, placement))
+        return results
+
+
+def _extract_probe_ids(
+    matches: list[tuple], target_index: Optional[int]
+) -> set[int]:
+    """Ids at the target below-position (payload mirror of ``id_at``)."""
+    if target_index is None:
+        return set()
+    extracted: set[int] = set()
+    for payload, placement in matches:
+        labels, ids = payload[0], payload[1]
+        position = placement[target_index] - (len(labels) - len(ids))
+        identifier = payload[3] if position < 0 else ids[position]
+        if identifier is not None:
+            extracted.add(identifier)
+    return extracted
+
+
+class _InlOther:
+    """One probed (non-outer) branch of a compiled INL plan."""
+
+    __slots__ = ("head_pos", "probe", "extract_output", "target_index")
+
+    def __init__(
+        self,
+        head_pos: int,
+        probe: _ProbeSpec,
+        extract_output: bool,
+        target_index: Optional[int],
+    ) -> None:
+        self.head_pos = head_pos
+        self.probe = probe
+        self.extract_output = extract_output
+        self.target_index = target_index
+
+
+class _CompiledInl:
+    """Probe layout for one (twig, outer-branch) INL plan, built once."""
+
+    __slots__ = ("others", "output_pos", "trunk_head_pos", "trunk_probe", "trunk_last")
+
+    def __init__(self, analysis: TwigAnalysis, outer_index: int) -> None:
+        outer = analysis.paths[outer_index]
+        outer_columns = {node: i for i, node in enumerate(outer.needed_nodes)}
+        output = analysis.output
+        self.output_pos = outer_columns.get(output)
+        output_on_outer = self.output_pos is not None
+        others: list[_InlOther] = []
+        for index, other in enumerate(analysis.paths):
+            if index == outer_index:
+                continue
+            head_node = analysis.trunk_common_node(
+                outer.join_point, other.join_point
+            )
+            below = subpath_below(other.query.nodes, head_node)
+            probe = _ProbeSpec(below, other.query.value)
+            extract = other.contains_output and not output_on_outer
+            target_index = None
+            if extract:
+                for position, node in enumerate(below):
+                    if node is output:
+                        target_index = position
+                        break
+            others.append(
+                _InlOther(outer_columns[head_node], probe, extract, target_index)
+            )
+        self.others = others
+        self.trunk_head_pos = outer_columns[outer.join_point]
+        trunk_below = tuple(
+            analysis.trunk_nodes_between(
+                outer.join_point, output, inclusive_lower=True
+            )
+        )
+        self.trunk_last = len(trunk_below) - 1
+        self.trunk_probe = _ProbeSpec(trunk_below, None) if trunk_below else None
 
 
 # ----------------------------------------------------------------------
@@ -597,10 +875,13 @@ class JoinIndicesStrategy(EvaluationStrategy):
         label = query.leaf.label
         ids: set[int] = set()
         if query.pattern.anchored:
+            # The length-1 relation ``(label,)`` holds every node with
+            # that label as a (node, node) pair — including roots with no
+            # structural descendants, which never appear as the head of a
+            # two-ended relation.
             root_ids = {doc.root.node_id for doc in self.db.documents}
-            for relation_path, relation in self.index.relations.items():
-                if relation_path[0] != label or len(relation_path) != 2:
-                    continue
+            relation = self.index.relations.get((label,))
+            if relation is not None:
                 self.stats.heap_page_reads += self.index.RELATION_OPEN_COST
                 for head, _tail in relation.backward_pairs_for_value(None):
                     if head in root_ids:

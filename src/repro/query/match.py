@@ -15,6 +15,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..kernels.columns import NodeColumns
+from ..kernels.filter import filter_has_child_in, filter_has_descendant
+from ..kernels.join import structural_join
 from ..xmltree.document import XmlDatabase
 from ..xmltree.nodes import Node
 from .ast import Axis, TwigNode
@@ -106,6 +109,73 @@ class NaiveMatcher:
             ):
                 return False
         return True
+
+
+class ColumnarMatcher(NaiveMatcher):
+    """The naive matcher's semantics re-run over the columnar node table.
+
+    Same matching rules as :class:`NaiveMatcher` — label/value tests,
+    memoised bottom-up satisfaction, trunk walk — but every check is a
+    batch pass over :class:`~repro.kernels.columns.NodeColumns` position
+    arrays: child tests become parent-id set filters, descendant tests
+    become the stack-based structural join.  Used as the fast oracle in
+    the differential fuzzer; the naive matcher stays the ground truth.
+    """
+
+    def match_nodes(self, twig: TwigPattern) -> list[Node]:
+        node = self.db.node
+        return [node(identifier) for identifier in self.match_ids(twig)]
+
+    def match_ids(self, twig: TwigPattern) -> list[int]:
+        columns = NodeColumns.for_database(self.db)
+        ids = columns.ids
+        ends = columns.ends
+        parents = columns.parents
+        # Bottom-up satisfaction: positions satisfying each twig node.
+        satisfied: dict[int, list[int]] = {}
+        for twig_node in _twig_postorder(twig.root):
+            positions: list[int] = list(
+                columns.candidates(twig_node.label, twig_node.value)
+            )
+            for child in twig_node.children:
+                if not positions:
+                    break
+                child_positions = satisfied[id(child)]
+                if child.axis is Axis.CHILD:
+                    parent_ids = {parents[p] for p in child_positions}
+                    positions = filter_has_child_in(positions, parent_ids, ids)
+                else:
+                    positions = filter_has_descendant(
+                        positions, child_positions, ids, ends
+                    )
+            satisfied[id(twig_node)] = positions
+        current = satisfied[id(twig.root)]
+        if twig.is_absolute:
+            roots = set(columns.root_positions)
+            current = [p for p in current if p in roots]
+        # Trunk walk from the root bindings down to the output node.
+        for twig_node in twig.output_path()[1:]:
+            if not current:
+                break
+            candidates = satisfied[id(twig_node)]
+            if twig_node.axis is Axis.CHILD:
+                current_ids = {ids[p] for p in current}
+                current = [p for p in candidates if parents[p] in current_ids]
+            else:
+                current = structural_join(current, candidates, ids, ends)
+        return [ids[p] for p in current]
+
+
+def _twig_postorder(root: TwigNode) -> list[TwigNode]:
+    """Twig nodes with every child before its parent (reversed preorder)."""
+    order = [root]
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.extend(node.children)
+        stack.extend(node.children)
+    order.reverse()
+    return order
 
 
 def _branch_as_twig(twig: TwigPattern, path: list[TwigNode]) -> TwigPattern:

@@ -291,6 +291,9 @@ class QueryService(ServingFacade):
         """A reusable strategy instance (required indexes built on demand)."""
         with self._lock:
             self.engine.ensure_indexes_for(name)
+            # Pin the engine's kernel default into the options so cached
+            # instances are keyed by the kernel flag they run with.
+            strategy_options.setdefault("use_kernels", self.engine.use_kernels)
             key = self._options_key(name, strategy_options)
             if key is None:
                 return self.engine.strategy(name, **strategy_options)

@@ -106,11 +106,12 @@ class Shard:
         result_cache_size: int = 1024,
         result_cache_ttl: Optional[float] = None,
         telemetry: Optional[Telemetry] = None,
+        use_kernels: bool = True,
     ) -> None:
         self.index = index
         self.db = XmlDatabase()
         self.stats = StatsCollector()
-        self.engine = TwigQueryEngine(self.db, stats=self.stats)
+        self.engine = TwigQueryEngine(self.db, stats=self.stats, use_kernels=use_kernels)
         self.service = QueryService(
             self.engine,
             plan_cache_size=plan_cache_size,
@@ -455,6 +456,7 @@ class ReplicatedShard:
         dead_after: int = 3,
         probe_interval: int = 16,
         telemetry: Optional[Telemetry] = None,
+        use_kernels: bool = True,
     ) -> None:
         if replicas < 1:
             raise ValueError(f"need at least one replica, got {replicas}")
@@ -476,6 +478,7 @@ class ReplicatedShard:
             result_cache_size=result_cache_size,
             result_cache_ttl=result_cache_ttl,
             telemetry=self.telemetry,
+            use_kernels=use_kernels,
         )
         self.replicas = [
             Shard(index, **self._shard_options) for _ in range(replicas)

@@ -102,6 +102,7 @@ class ShardedQueryService(ServingFacade):
         rebalance_min_documents: Optional[int] = None,
         rebalance_background: bool = True,
         telemetry: Optional[Telemetry] = None,
+        use_kernels: bool = True,
     ) -> None:
         if collection is None:
             collection = ShardedCollection(
@@ -113,6 +114,7 @@ class ShardedQueryService(ServingFacade):
                 result_cache_size=result_cache_size,
                 result_cache_ttl=result_cache_ttl,
                 telemetry=telemetry,
+                use_kernels=use_kernels,
             )
         self.collection = collection
         #: Adopt the collection's hub: shards, replicas and per-replica

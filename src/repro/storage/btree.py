@@ -248,6 +248,44 @@ class BPlusTree:
         self.stats.index_lookups += 1
         yield from self._scan_from(prefix, lambda k: is_prefix(prefix, k), prefix)
 
+    def scan_prefix_items(self, prefix: EncodedKey) -> list[tuple[EncodedKey, Any]]:
+        """Materialised :meth:`scan_prefix` with identical cost accounting.
+
+        The columnar kernels consume whole lookup results at once; this
+        batch variant walks the same leaves and charges exactly the
+        counters the generator would when fully consumed — one
+        ``index_lookups``, the descent's ``btree_node_reads``, one
+        ``btree_entries_scanned`` per entry examined (including the
+        first non-matching one) and one ``btree_node_reads`` per leaf
+        hop — without a generator resumption per entry.
+        """
+        stats = self.stats
+        stats.index_lookups += 1
+        leaf = self._find_leaf(prefix)
+        index = bisect.bisect_left(leaf.keys, prefix)
+        length = len(prefix)
+        scanned = 0
+        out: list[tuple[EncodedKey, Any]] = []
+        append = out.append
+        while True:
+            keys = leaf.keys
+            values = leaf.values
+            count = len(keys)
+            while index < count:
+                key = keys[index]
+                scanned += 1
+                if key[:length] != prefix:
+                    stats.btree_entries_scanned += scanned
+                    return out
+                append((key, values[index]))
+                index += 1
+            if leaf.next is None:
+                stats.btree_entries_scanned += scanned
+                return out
+            leaf = leaf.next
+            stats.btree_node_reads += 1
+            index = 0
+
     def scan_range(
         self, low: EncodedKey, high: EncodedKey, include_high: bool = False
     ) -> Iterator[tuple[EncodedKey, Any]]:

@@ -1,5 +1,16 @@
-"""The experimental workload: the Q1–Q15 catalog and a query generator."""
+"""The experimental workload: the Q1–Q15 catalog, a query generator,
+and the randomized corpus/query/churn generators behind the
+differential fuzzer."""
 
+from .fuzz import (
+    clone_document,
+    max_fanout_star,
+    random_churn_ops,
+    random_corpus,
+    random_document,
+    random_twig_xpath,
+    self_nested_chain,
+)
 from .generator import (
     GeneratedQuery,
     XMARK_BRANCHES,
@@ -37,9 +48,16 @@ __all__ = [
     "XMARK_LOW_BRANCHES",
     "XMARK_TRUNKS",
     "branch_count_sweep",
+    "clone_document",
     "generate_twig",
     "make_recursive",
+    "max_fanout_star",
     "queries_for_dataset",
     "queries_for_figure",
     "query",
+    "random_churn_ops",
+    "random_corpus",
+    "random_document",
+    "random_twig_xpath",
+    "self_nested_chain",
 ]

@@ -6,6 +6,8 @@ and each of the seven index-based strategies must return exactly the
 same output-node ids on every query it supports.
 """
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -14,8 +16,13 @@ from repro.datasets import FIGURE_1_QUERY, book_document
 from repro.planner import DEFAULT_STRATEGIES
 from repro.workloads import (
     branch_count_sweep,
+    clone_document,
     generate_twig,
+    max_fanout_star,
     queries_for_dataset,
+    random_corpus,
+    random_twig_xpath,
+    self_nested_chain,
 )
 from repro.xmltree import Document, Node, NodeKind
 
@@ -142,6 +149,90 @@ def test_datapaths_forced_plans_agree(xmark_engine):
         inl = xmark_engine.query(workload_query.xpath, strategy="datapaths", force_plan="inl")
         assert merge.ids == expected
         assert inl.ids == expected
+
+
+# ----------------------------------------------------------------------
+# Deterministic edge cases over the fuzzer's corpus generators.
+#
+# Each case is a (corpus, queries) pair; queries are (xpath, empty)
+# where ``empty`` pins whether the oracle answer must be empty — so the
+# edge the case exists for (a query that matches nothing, a bare
+# single-node document, a deep same-tag chain) is provably exercised,
+# not silently optimized away by a generator change.
+# ----------------------------------------------------------------------
+def _single_node_corpus():
+    return (
+        [Document(Node(NodeKind.ELEMENT, "s"), name="solo")],
+        [("/s", False), ("//s", False), ("/s[a]", True), ("//a", True)],
+    )
+
+
+def _deep_chain_corpus():
+    return (
+        [self_nested_chain(12, tag="a", name="chain")],
+        [
+            ("//a", False),
+            ("//a//a//a", False),
+            ("/a/a/a", False),
+            ("//a[a='v0']", False),
+            ("//a[a='v3']", True),
+            ("//b", True),
+        ],
+    )
+
+
+def _fanout_star_corpus():
+    return (
+        [max_fanout_star(16, name="star")],
+        [
+            ("//b", False),
+            ("/r/b", False),
+            ("/r[b='v1']", False),
+            ("//b[c]", True),
+            ("/r/b/b", True),
+        ],
+    )
+
+
+def _random_fuzz_corpus(seed):
+    def build():
+        rng = random.Random(seed)
+        corpus = random_corpus(rng, documents=3)
+        queries = [
+            (random_twig_xpath(rng, corpus), None) for _ in range(8)
+        ]
+        return corpus, queries
+
+    return build
+
+
+FUZZ_EDGE_CORPORA = {
+    "single-node": _single_node_corpus,
+    "deep-chain": _deep_chain_corpus,
+    "fanout-star": _fanout_star_corpus,
+    "fuzz-seed-1": _random_fuzz_corpus(1),
+    "fuzz-seed-2": _random_fuzz_corpus(2),
+}
+
+
+@pytest.mark.parametrize("case", sorted(FUZZ_EDGE_CORPORA))
+def test_fuzz_corpus_edge_cases_every_strategy_and_auto(case):
+    documents, queries = FUZZ_EDGE_CORPORA[case]()
+    database = TwigIndexDatabase.from_documents(
+        [clone_document(document) for document in documents]
+    )
+    database.build_all_indexes()
+    for xpath, empty in queries:
+        expected = database.oracle(xpath)
+        if empty is True:
+            assert expected == [], f"{case}: {xpath} should be empty"
+        elif empty is False:
+            assert expected, f"{case}: {xpath} should be non-empty"
+        for strategy in DEFAULT_STRATEGIES + ("auto",):
+            result = database.query(xpath, strategy=strategy)
+            assert result.ids == expected, (
+                f"{strategy} disagrees on {xpath} ({case})"
+            )
 
 
 # ----------------------------------------------------------------------
