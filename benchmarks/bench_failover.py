@@ -123,17 +123,15 @@ def failover_run():
     single.build_index("datapaths")
     expected = {xpath: single.service.execute(xpath).ids for xpath in workload}
 
-    healthy_service = _build_service()
-    healthy = _serve(healthy_service, workload, faulted=False)
-    healthy_service.close()
+    with _build_service() as healthy_service:
+        healthy = _serve(healthy_service, workload, faulted=False)
 
-    faulted_service = _build_service()
-    faulted = _serve(faulted_service, workload, faulted=True)
-    faulted_states = [
-        shard["states"]
-        for shard in faulted["describe"]["operations"]["failover"]["per_shard"]
-    ]
-    faulted_service.close()
+    with _build_service() as faulted_service:
+        faulted = _serve(faulted_service, workload, faulted=True)
+        faulted_states = [
+            shard["states"]
+            for shard in faulted["describe"]["operations"]["failover"]["per_shard"]
+        ]
 
     measured = {
         "workload": workload,

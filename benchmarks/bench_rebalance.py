@@ -119,23 +119,22 @@ def _serve_rounds(service, workload, first_round, rounds):
 @pytest.fixture(scope="module")
 def skew_recovery():
     workload = [query(qid).xpath for qid in FIG12_QUERIES]
-    service = ShardedQueryService.from_documents(
+    with ShardedQueryService.from_documents(
         _base_documents(), num_shards=NUM_SHARDS, placement="hash"
-    )
-    service.build_index("rootpaths")
-    service.build_index("datapaths")
-    spread_before = service.collection.topology.live_counts()
+    ) as service:
+        service.build_index("rootpaths")
+        service.build_index("datapaths")
+        spread_before = service.collection.topology.live_counts()
 
-    pre = _serve_rounds(service, workload, first_round=1, rounds=ROUNDS)
-    pre["oracle"] = {xpath: service.oracle(xpath) for xpath in workload}
+        pre = _serve_rounds(service, workload, first_round=1, rounds=ROUNDS)
+        pre["oracle"] = {xpath: service.oracle(xpath) for xpath in workload}
 
-    report = service.rebalance("size_balanced", compact=True)
-    spread_after = service.collection.topology.live_counts()
+        report = service.rebalance("size_balanced", compact=True)
+        spread_after = service.collection.topology.live_counts()
 
-    post = _serve_rounds(service, workload, first_round=ROUNDS + 1, rounds=ROUNDS)
-    post["oracle"] = {xpath: service.oracle(xpath) for xpath in workload}
-    describe = service.describe()
-    service.close()
+        post = _serve_rounds(service, workload, first_round=ROUNDS + 1, rounds=ROUNDS)
+        post["oracle"] = {xpath: service.oracle(xpath) for xpath in workload}
+        describe = service.describe()
 
     measured = {
         "pre": pre,
@@ -216,11 +215,10 @@ def replica_scaling():
         ("sticky", REPLICAS, "sticky"),
         ("round_robin", REPLICAS, "round_robin"),
     ):
-        service = build(replicas, picker)
-        measured[label] = serve_reads(service)
-        measured[label]["replicas"] = replicas
-        measured[label]["picker"] = picker
-        service.close()
+        with build(replicas, picker) as service:
+            measured[label] = serve_reads(service)
+            measured[label]["replicas"] = replicas
+            measured[label]["picker"] = picker
 
     rows = []
     for label in ("single", "sticky", "round_robin"):

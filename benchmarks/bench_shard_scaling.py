@@ -116,22 +116,21 @@ def _run_single():
 
 
 def _run_sharded(num_shards: int):
-    service = ShardedQueryService.from_documents(
+    with ShardedQueryService.from_documents(
         _base_documents(), num_shards=num_shards, placement="round_robin"
-    )
-    service.build_index("rootpaths")
-    service.build_index("datapaths")
+    ) as service:
+        service.build_index("rootpaths")
+        service.build_index("datapaths")
 
-    def total_cost() -> int:
-        return sum(shard.stats.total_cost() for shard in service.collection.shards)
+        def total_cost() -> int:
+            return sum(shard.stats.total_cost() for shard in service.collection.shards)
 
-    measured = _serve(
-        lambda xpath: service.execute(xpath, strategy="auto"),
-        service.add_document,
-        total_cost,
-    )
-    measured["describe"] = service.describe()
-    service.close()
+        measured = _serve(
+            lambda xpath: service.execute(xpath, strategy="auto"),
+            service.add_document,
+            total_cost,
+        )
+        measured["describe"] = service.describe()
     return measured
 
 
@@ -227,12 +226,11 @@ def test_writes_only_invalidate_their_own_shard(scaling):
 
 
 def test_shard_scaling_benchmark_scatter_gather(benchmark):
-    service = ShardedQueryService.from_documents(
+    with ShardedQueryService.from_documents(
         _base_documents(), num_shards=4, placement="round_robin"
-    )
-    service.build_index("rootpaths")
-    service.build_index("datapaths")
-    xpath = query("Q4x").xpath
-    service.execute(xpath)  # warm per-shard caches
-    benchmark(lambda: service.execute(xpath, use_result_cache=False))
-    service.close()
+    ) as service:
+        service.build_index("rootpaths")
+        service.build_index("datapaths")
+        xpath = query("Q4x").xpath
+        service.execute(xpath)  # warm per-shard caches
+        benchmark(lambda: service.execute(xpath, use_result_cache=False))

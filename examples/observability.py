@@ -39,76 +39,75 @@ def main() -> None:
     # 1. A replicated stack.  One Telemetry hub is shared by the
     # facade, the shards, every replica and every per-replica
     # QueryService, so everything below reads from it.
-    service = ShardedQueryService.from_documents(
+    with ShardedQueryService.from_documents(
         documents(), num_shards=2, replicas=3
-    )
-    service.build_index("rootpaths")
-    workload = [query(qid).xpath for qid in SERVED]
+    ) as service:
+        service.build_index("rootpaths")
+        workload = [query(qid).xpath for qid in SERVED]
 
-    print("== serving the workload (healthy) ==")
-    baseline = {}
-    for index, xpath in enumerate(workload):
-        result = service.execute(
-            xpath, query_id=f"warm-{index}", use_result_cache=False
-        )
-        baseline[xpath] = result.ids
-        print(f"  {xpath}: {len(result.ids)} ids via {result.strategy}")
-
-    # 2. Kill replica 1 of shard 0: every read it receives fails until
-    # the health machine quarantines it.  Deterministic — the plan
-    # fires on call counts, never on the wall clock.
-    print("\n== injecting faults on shard 0, replica 1 ==")
-    inject(service.collection.shards[0], 1, FaultPlan.failing_at(*range(1, 30)))
-    for round_number in range(12):
+        print("== serving the workload (healthy) ==")
+        baseline = {}
         for index, xpath in enumerate(workload):
             result = service.execute(
-                xpath,
-                query_id=f"r{round_number}-{index}",
-                use_result_cache=False,
+                xpath, query_id=f"warm-{index}", use_result_cache=False
             )
-            assert result.ids == baseline[xpath]  # failover is invisible
-    health = service.collection.shards[0].health_report()
-    print(f"  shard 0 replica states after the storm: {health['states']}")
+            baseline[xpath] = result.ids
+            print(f"  {xpath}: {len(result.ids)} ids via {result.strategy}")
 
-    # 3. The aggregate view: the Prometheus exposition.
-    print("\n== metrics exposition (excerpt) ==")
-    for line in service.metrics_text().splitlines():
-        if "quantile" in line or "repro_queries_total" in line or (
-            "repro_stats" in line
-            and any(k in line for k in ("retried", "failed", "rebalances"))
-        ):
-            print(f"  {line}")
+        # 2. Kill replica 1 of shard 0: every read it receives fails until
+        # the health machine quarantines it.  Deterministic — the plan
+        # fires on call counts, never on the wall clock.
+        print("\n== injecting faults on shard 0, replica 1 ==")
+        inject(service.collection.shards[0], 1, FaultPlan.failing_at(*range(1, 30)))
+        for round_number in range(12):
+            for index, xpath in enumerate(workload):
+                result = service.execute(
+                    xpath,
+                    query_id=f"r{round_number}-{index}",
+                    use_result_cache=False,
+                )
+                assert result.ids == baseline[xpath]  # failover is invisible
+        health = service.collection.shards[0].health_report()
+        print(f"  shard 0 replica states after the storm: {health['states']}")
 
-    # 4. The ops event log: one ordered story per incident.
-    print("\n== ops event log ==")
-    for event in service.telemetry.events.events():
-        attributes = {
-            k: v for k, v in sorted(event.attributes.items()) if v is not None
-        }
-        print(f"  #{event.seq:<3} {event.kind:20} {attributes}")
+        # 3. The aggregate view: the Prometheus exposition.
+        print("\n== metrics exposition (excerpt) ==")
+        for line in service.metrics_text().splitlines():
+            if "quantile" in line or "repro_queries_total" in line or (
+                "repro_stats" in line
+                and any(k in line for k in ("retried", "failed", "rebalances"))
+            ):
+                print(f"  {line}")
 
-    # 5. The trace of a failed read: the errored replica span and the
-    # retry on a healthy replica, in one tree.
-    print("\n== a failover trace ==")
-    for trace in service.traces():
-        replica_spans = trace.root.find("replica")
-        if any(s.attributes.get("outcome") == "failed" for s in replica_spans):
-            print(trace.render())
-            break
+        # 4. The ops event log: one ordered story per incident.
+        print("\n== ops event log ==")
+        for event in service.telemetry.events.events():
+            attributes = {
+                k: v for k, v in sorted(event.attributes.items()) if v is not None
+            }
+            print(f"  #{event.seq:<3} {event.kind:20} {attributes}")
 
-    # 6. The slow-query log keeps outlier trees after the main ring
-    # rotates; armed at 0 here so the next query qualifies.
-    service.telemetry.slow_query_seconds = 0.0
-    service.execute(workload[0], query_id="slow-demo", use_result_cache=False)
-    print("\n== a slow-query trace ==")
-    slow = service.slow_queries(last=1)[0]
-    print(slow.render())
-    print(
-        f"\nslow queries retained: {len(service.slow_queries())}; "
-        f"events published: {service.telemetry.events.total_published}; "
-        f"traces finished: {service.telemetry.tracer.traces_finished}"
-    )
-    service.close()
+        # 5. The trace of a failed read: the errored replica span and the
+        # retry on a healthy replica, in one tree.
+        print("\n== a failover trace ==")
+        for trace in service.traces():
+            replica_spans = trace.root.find("replica")
+            if any(s.attributes.get("outcome") == "failed" for s in replica_spans):
+                print(trace.render())
+                break
+
+        # 6. The slow-query log keeps outlier trees after the main ring
+        # rotates; armed at 0 here so the next query qualifies.
+        service.telemetry.slow_query_seconds = 0.0
+        service.execute(workload[0], query_id="slow-demo", use_result_cache=False)
+        print("\n== a slow-query trace ==")
+        slow = service.slow_queries(last=1)[0]
+        print(slow.render())
+        print(
+            f"\nslow queries retained: {len(service.slow_queries())}; "
+            f"events published: {service.telemetry.events.total_published}; "
+            f"traces finished: {service.telemetry.tracer.traces_finished}"
+        )
 
 
 if __name__ == "__main__":

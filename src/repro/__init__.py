@@ -29,6 +29,14 @@ from .errors import (
     XmlParseError,
 )
 from .faults import FaultInjector, FaultPlan, InjectedFault
+from .frontdoor import (
+    FrontDoor,
+    FrontDoorError,
+    FrontDoorServer,
+    QueryRequest,
+    QueryResponse,
+    RejectedError,
+)
 from .obs import Telemetry
 from .planner.evaluator import DEFAULT_STRATEGIES, QueryResult, TwigQueryEngine
 from .query.parser import normalize_xpath, parse_xpath
@@ -47,12 +55,18 @@ __all__ = [
     "DocumentError",
     "FaultInjector",
     "FaultPlan",
+    "FrontDoor",
+    "FrontDoorError",
+    "FrontDoorServer",
     "InjectedFault",
     "PlanningError",
     "QueryNotSupportedError",
     "QueryParseError",
+    "QueryRequest",
+    "QueryResponse",
     "QueryResult",
     "QueryService",
+    "RejectedError",
     "ReproError",
     "ShardedCollection",
     "ShardedQueryService",

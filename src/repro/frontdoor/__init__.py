@@ -1,0 +1,45 @@
+"""The concurrent front door: asyncio serving over the query services.
+
+Layers, outermost first:
+
+* :class:`FrontDoorServer` — stdlib HTTP/1.1 + JSON (``POST /query``,
+  ``GET /healthz`` / ``/metrics`` / ``/describe``, ``POST /drain``);
+* :class:`FrontDoor` — the transport-free pipeline: typed validation,
+  per-tenant token-bucket quotas, single-flight coalescing of identical
+  in-flight queries, bounded admission with fast rejects, graceful
+  drain, and execution of the blocking service call on a worker pool;
+* :mod:`~repro.frontdoor.models` — the request/response dataclasses and
+  the typed rejection errors the whole stack shares.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .coalesce import SingleFlight
+from .models import (
+    BadRequestError,
+    DrainingError,
+    FrontDoorError,
+    QueryRequest,
+    QueryResponse,
+    QueueFullError,
+    QuotaExceededError,
+    RejectedError,
+    error_body,
+)
+from .server import FrontDoor, FrontDoorServer
+
+__all__ = [
+    "AdmissionController",
+    "BadRequestError",
+    "DrainingError",
+    "FrontDoor",
+    "FrontDoorError",
+    "FrontDoorServer",
+    "QueryRequest",
+    "QueryResponse",
+    "QueueFullError",
+    "QuotaExceededError",
+    "RejectedError",
+    "SingleFlight",
+    "TokenBucket",
+    "error_body",
+]

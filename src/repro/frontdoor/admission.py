@@ -1,0 +1,289 @@
+"""Admission control: per-tenant token buckets and a bounded queue.
+
+Two gates stand between a decoded request and the engine:
+
+* **quota** — a token bucket per tenant (rate/burst), refilled from the
+  shared observability clock.  An empty bucket is a *fast* 429 with a
+  ``retry_after`` hint; no queueing, no engine work.
+* **concurrency** — at most ``max_concurrency`` flight leaders execute
+  at once, with at most ``max_queue`` more waiting.  A request beyond
+  both bounds is a *fast* 503: under overload the server sheds load in
+  microseconds instead of growing an unbounded queue whose tail
+  latency nobody survives.  (Coalesced followers never take a slot —
+  they ride their leader's execution — which is what makes the
+  hot-query qps multiply under the bench's skewed mix.)
+
+Everything here runs on the event loop, single-threaded by
+construction, so the counters need no locks; ``describe()`` reads of
+plain ints from other threads are safe.  Draining flips one flag: new
+arrivals get a 503 while admitted work (running *and* queued) finishes,
+and :meth:`AdmissionController.drain` resolves once the last slot
+empties.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Mapping, Optional, Union
+
+from ..obs.clock import now as _now
+from .models import DrainingError, QueueFullError, QuotaExceededError
+
+__all__ = ["AdmissionController", "TokenBucket"]
+
+
+class TokenBucket:
+    """The classic rate limiter: ``burst`` capacity refilled at ``rate``/s.
+
+    ``rate=None`` disables the bucket (always admits).  The clock is
+    injectable so tests drive refill deterministically.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = _now,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive (or None for unlimited): {rate}")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 0) or 1.0)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive: {burst}")
+        self._clock = clock
+        self.tokens = self.burst
+        self._refilled_at = clock()
+        self.admitted = 0
+        self.rejected = 0
+
+    def _refill(self) -> None:
+        elapsed = self._clock() - self._refilled_at
+        self._refilled_at += elapsed
+        if self.rate is not None and elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; never blocks."""
+        if self.rate is None:
+            self.admitted += 1
+            return True
+        self._refill()
+        if self.tokens >= amount:
+            self.tokens -= amount
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will have refilled."""
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        missing = max(0.0, amount - self.tokens)
+        return missing / self.rate
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "tokens": round(self.tokens, 3),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+#: A tenant quota spec: an existing bucket, a rate, or a (rate, burst)
+#: pair — normalized by :meth:`AdmissionController._make_bucket`.
+QuotaSpec = Union[TokenBucket, float, tuple]
+
+
+class AdmissionController:
+    """Bounded admission: quota gate, then a concurrency gate.
+
+    ``max_concurrency`` slots execute; up to ``max_queue`` more wait in
+    FIFO order; everything else is shed immediately.  ``quotas`` maps
+    tenant name to a quota spec; ``default_quota`` covers unnamed
+    tenants (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        max_queue: int = 64,
+        quotas: Optional[Mapping[str, QuotaSpec]] = None,
+        default_quota: Optional[QuotaSpec] = None,
+        clock: Callable[[], float] = _now,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1: {max_concurrency}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0: {max_queue}")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._clock = clock
+        self._default_quota = default_quota
+        self.buckets: dict[str, TokenBucket] = {}
+        for tenant, spec in (quotas or {}).items():
+            self.buckets[tenant] = self._make_bucket(spec)
+        self._in_flight = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self._draining = False
+        self._drained: Optional[asyncio.Future] = None
+        self.admitted = 0
+        self.queued = 0
+        self.queue_peak = 0
+        self.rejected_quota = 0
+        self.rejected_queue = 0
+        self.rejected_draining = 0
+
+    # ------------------------------------------------------------------
+    # Quota gate
+    # ------------------------------------------------------------------
+    def _make_bucket(self, spec: QuotaSpec) -> TokenBucket:
+        if isinstance(spec, TokenBucket):
+            return spec
+        if isinstance(spec, tuple):
+            rate, burst = spec
+            return TokenBucket(rate, burst, clock=self._clock)
+        return TokenBucket(spec, clock=self._clock)
+
+    def bucket_for(self, tenant: str) -> Optional[TokenBucket]:
+        """The tenant's bucket, lazily created from the default quota."""
+        bucket = self.buckets.get(tenant)
+        if bucket is None and self._default_quota is not None:
+            bucket = self._make_bucket(self._default_quota)
+            self.buckets[tenant] = bucket
+        return bucket
+
+    def check_quota(self, tenant: str) -> None:
+        """Charge one request to the tenant's bucket or raise 429."""
+        bucket = self.bucket_for(tenant)
+        if bucket is None:
+            return
+        if not bucket.try_acquire():
+            self.rejected_quota += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r} exceeded its rate of {bucket.rate}/s",
+                retry_after=bucket.retry_after(),
+            )
+
+    # ------------------------------------------------------------------
+    # Concurrency gate
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def acquire(self) -> None:
+        """Take one execution slot, waiting in the bounded queue.
+
+        Raises :class:`DrainingError` once :meth:`drain` was called and
+        :class:`QueueFullError` when the queue is at capacity — both
+        without yielding to the loop, so rejection latency is the cost
+        of a counter check, not of the queue it refused to join.
+        """
+        if self._draining:
+            self.rejected_draining += 1
+            raise DrainingError("server is draining; not accepting new queries")
+        if self._in_flight < self.max_concurrency:
+            self._in_flight += 1
+            self.admitted += 1
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.rejected_queue += 1
+            raise QueueFullError(
+                f"admission queue full ({self.max_queue} waiting, "
+                f"{self._in_flight} executing)"
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self.queued += 1
+        self.queue_peak = max(self.queue_peak, len(self._waiters))
+        try:
+            # The releasing request transfers its slot by resolving the
+            # future, so ``_in_flight`` never dips in between.
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.cancelled():
+                # Abandoned before the hand-off: just leave the queue
+                # (release() also skips cancelled waiters it finds).
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            else:
+                # Cancelled after release() handed us the slot: give it
+                # to the next waiter (or back to the pool).
+                self.release()
+            raise
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Return one slot: hand it to the next live waiter, else free it."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.cancelled():
+                waiter.set_result(None)
+                return
+        self._in_flight -= 1
+        if (
+            self._draining
+            and self._in_flight == 0
+            and self._drained is not None
+            and not self._drained.done()
+        ):
+            self._drained.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop admitting, then wait for running *and* queued work.
+
+        Queued requests were already admitted past the shed point, so
+        they run to completion; only new arrivals see 503s.  Idempotent
+        and re-awaitable.
+        """
+        self._draining = True
+        if self._in_flight == 0 and not self._waiters:
+            return
+        if self._drained is None:
+            self._drained = asyncio.get_running_loop().create_future()
+        await asyncio.shield(self._drained)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "max_concurrency": self.max_concurrency,
+            "max_queue": self.max_queue,
+            "in_flight": self._in_flight,
+            "queue_depth": len(self._waiters),
+            "queue_peak": self.queue_peak,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "rejected_draining": self.rejected_draining,
+            "draining": self._draining,
+            "tenants": {
+                tenant: bucket.describe()
+                for tenant, bucket in sorted(self.buckets.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionController(in_flight={self._in_flight}/"
+            f"{self.max_concurrency}, queued={len(self._waiters)}/"
+            f"{self.max_queue}, draining={self._draining})"
+        )

@@ -1,0 +1,509 @@
+"""The concurrent front door: asyncio serving over a query service.
+
+Two layers, separable on purpose:
+
+* :class:`FrontDoor` — the transport-free core.  ``await
+  handle(request)`` takes a validated :class:`QueryRequest` (or a raw
+  dict) through quota, single-flight coalescing and bounded admission,
+  runs the blocking service call on a worker thread, and returns a
+  :class:`QueryResponse`.  Benchmarks and tests drive *this* with
+  hundreds of simulated connections (asyncio tasks) — no sockets, no
+  HTTP parsing in the measured path.
+* :class:`FrontDoorServer` — a stdlib-only HTTP/1.1 + JSON skin over a
+  front door (``asyncio.start_server``; no aiohttp/uvloop dependency
+  creep).  ``POST /query`` serves requests; ``GET /healthz``,
+  ``GET /metrics`` (Prometheus text) and ``GET /describe`` expose the
+  observability surface; ``POST /drain`` gracefully drains.
+
+Request flow (the order is the admission pipeline of
+``docs/ARCHITECTURE.md``):
+
+1. **validate** — malformed bodies are 400s before any accounting;
+2. **quota** — the tenant's token bucket (fast 429, ``retry_after``);
+3. **coalesce** — identical in-flight queries (same normalized xpath,
+   strategy, options, scope, cache flag *and service generation*) join
+   the running flight as followers and never touch the engine;
+4. **admit** — flight leaders take one of ``max_concurrency`` slots or
+   wait in the bounded queue (fast 503 beyond it);
+5. **execute** — the blocking ``service.execute`` runs on the front
+   door's thread pool, inside the caller's telemetry context, so the
+   engine's ``query`` span lands under this request's trace.
+
+Every follower gets a *private copy* of the flight's result, so the
+fan-out can never alias one mutable answer across clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import inspect
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Optional, Union
+
+from ..errors import ReproError
+from ..obs.clock import now as _now
+from ..planner.evaluator import QueryResult
+from ..query.parser import normalize_xpath
+from ..service.base import ServingFacade
+from .admission import AdmissionController, QuotaSpec
+from .coalesce import SingleFlight
+from .models import (
+    BadRequestError,
+    DrainingError,
+    FrontDoorError,
+    QueryRequest,
+    QueryResponse,
+    RejectedError,
+    error_body,
+)
+
+__all__ = ["FrontDoor", "FrontDoorServer"]
+
+
+class FrontDoor:
+    """Quota + coalescing + bounded admission over a blocking service."""
+
+    def __init__(
+        self,
+        service: ServingFacade,
+        coalesce: bool = True,
+        max_concurrency: int = 8,
+        max_queue: int = 64,
+        quotas: Optional[Mapping[str, QuotaSpec]] = None,
+        default_quota: Optional[QuotaSpec] = None,
+    ) -> None:
+        self.service = service
+        #: Share the service's hub so front-door spans, the engine's
+        #: query spans and the admission events land in one trace tree.
+        self.telemetry = service.telemetry
+        self.coalesce = coalesce
+        self.flights = SingleFlight()
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue=max_queue,
+            quotas=quotas,
+            default_quota=default_quota,
+        )
+        #: One worker thread per execution slot: an admitted leader
+        #: never queues invisibly inside the executor.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="frontdoor"
+        )
+        #: Whether the wrapped service takes a ``documents=`` scope
+        #: (the sharded facade does, the single-engine one does not).
+        self._supports_documents = (
+            "documents" in inspect.signature(service.execute).parameters
+        )
+        self.requests_served = 0
+        self.requests_rejected = 0
+
+    # ------------------------------------------------------------------
+    # The request pipeline
+    # ------------------------------------------------------------------
+    async def handle(
+        self, request: Union[QueryRequest, Mapping]
+    ) -> QueryResponse:
+        """Serve one request; raises a :class:`FrontDoorError` on reject."""
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest.from_dict(request)
+        started = _now()
+        attributes = {
+            "tier": "frontdoor",
+            "xpath": request.xpath,
+            "tenant": request.tenant,
+        }
+        if request.query_id is not None:
+            attributes["query_id"] = request.query_id
+        try:
+            with self.telemetry.span("frontdoor", **attributes) as root:
+                response = await self._admit_and_run(request, started)
+                root.annotate(
+                    outcome="coalesced" if response.coalesced else "executed",
+                    strategy=response.strategy,
+                )
+        except FrontDoorError as error:
+            self.requests_rejected += 1
+            self._record(request, started, outcome=error.code, served=False)
+            raise
+        self.requests_served += 1
+        self._record(
+            request,
+            started,
+            outcome="coalesced" if response.coalesced else "executed",
+            served=True,
+            cached=response.cached,
+            strategy=response.strategy,
+        )
+        return response
+
+    async def _admit_and_run(
+        self, request: QueryRequest, started: float
+    ) -> QueryResponse:
+        if self.admission.draining:
+            raise DrainingError("server is draining; not accepting new queries")
+        if request.documents is not None and not self._supports_documents:
+            raise BadRequestError(
+                "'documents' scoping requires the sharded service; "
+                f"{type(self.service).__name__} does not support it"
+            )
+        self.admission.check_quota(request.tenant)
+        key = self.flight_key(request)
+        with self.telemetry.span("coalesce", xpath=request.xpath) as span:
+            result, coalesced = await self.flights.run(
+                key, lambda: self._execute(request)
+            )
+            span.annotate(
+                outcome="hit" if coalesced else "lead",
+                in_flight=self.flights.in_flight,
+            )
+        if coalesced:
+            self.telemetry.event(
+                "coalesced", xpath=request.xpath, tenant=request.tenant
+            )
+            # Followers share the leader's QueryResult object; hand each
+            # its own copy so no client can mutate another's answer.
+            result = ServingFacade._copy_result(result, cached=result.cached)
+        return QueryResponse.from_result(
+            request, result, coalesced, elapsed_seconds=_now() - started
+        )
+
+    async def _execute(self, request: QueryRequest) -> QueryResult:
+        """The leader's path: bounded admission, then a worker thread."""
+        with self.telemetry.span("admit") as span:
+            await self.admission.acquire()
+            span.annotate(
+                in_flight=self.admission.in_flight,
+                queued=self.admission.queue_depth,
+            )
+        try:
+            loop = asyncio.get_running_loop()
+            # copy_context(): the engine's root "query" span opened on
+            # the worker thread parents under this request's trace.
+            context = contextvars.copy_context()
+            return await loop.run_in_executor(
+                self._executor, context.run, self._run_blocking, request
+            )
+        finally:
+            self.admission.release()
+
+    def _run_blocking(self, request: QueryRequest) -> QueryResult:
+        options = dict(request.options)
+        if request.documents is not None:
+            options["documents"] = list(request.documents)
+        return self.service.execute(
+            request.xpath,
+            strategy=request.strategy,
+            use_result_cache=request.use_result_cache,
+            query_id=request.query_id,
+            **options,
+        )
+
+    # ------------------------------------------------------------------
+    # Coalescing key
+    # ------------------------------------------------------------------
+    def flight_key(self, request: QueryRequest) -> Optional[tuple]:
+        """``(normalized_xpath, strategy, options, scope, cache, generation)``.
+
+        ``None`` (no coalescing) when disabled or when the options are
+        unhashable; the generation component is what keeps a write from
+        ever being masked by an older in-flight execution.
+        """
+        if not self.coalesce:
+            return None
+        options_key = ServingFacade._options_key(
+            request.strategy, dict(request.options)
+        )
+        if options_key is None:
+            return None
+        return (
+            normalize_xpath(request.xpath),
+            options_key,
+            request.documents,
+            request.use_result_cache,
+            self.service.generation(),
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        request: QueryRequest,
+        started: float,
+        outcome: str,
+        served: bool,
+        cached: bool = False,
+        strategy: str = "-",
+    ) -> None:
+        elapsed = _now() - started
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.metrics.histogram(
+            "repro_frontdoor_latency_seconds",
+            "Front-door request wall time, served vs rejected",
+        ).observe(elapsed, disposition="served" if served else "rejected")
+        self.telemetry.metrics.counter(
+            "repro_frontdoor_requests_total",
+            "Front-door requests by tenant and outcome",
+        ).inc(tenant=request.tenant, outcome=outcome)
+        if served:
+            self.telemetry.record_query("frontdoor", strategy, elapsed, cached)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop admitting new queries, wait for in-flight work."""
+        self.telemetry.event(
+            "frontdoor-drain",
+            in_flight=self.admission.in_flight,
+            queued=self.admission.queue_depth,
+        )
+        await self.admission.drain()
+
+    def close(self) -> None:
+        """Release the worker threads (after :meth:`drain`; idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "coalesce": self.coalesce,
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+            "coalesced_hits": self.flights.coalesced_hits,
+            "flights": self.flights.describe(),
+            "admission": self.admission.describe(),
+            "service": type(self.service).__name__,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrontDoor(served={self.requests_served}, "
+            f"coalesced={self.flights.coalesced_hits}, "
+            f"rejected={self.requests_rejected})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The HTTP/1.1 + JSON skin
+# ----------------------------------------------------------------------
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Refuse request bodies past this size (a malformed content-length
+#: must not buffer unbounded memory).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class FrontDoorServer:
+    """A stdlib asyncio HTTP server around a :class:`FrontDoor`.
+
+    ``port=0`` (the default) binds an ephemeral port; read it back from
+    :attr:`address` after :meth:`start`.  Connections are keep-alive
+    HTTP/1.1; :meth:`stop` drains the front door before closing.
+    """
+
+    def __init__(
+        self,
+        frontdoor: FrontDoor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.frontdoor = frontdoor
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.frontdoor.telemetry.event(
+            "frontdoor-listening", host=self.host, port=self.port
+        )
+        return (self.host, self.port)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: drain admitted work, then close the socket."""
+        if drain:
+            await self.frontdoor.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.frontdoor.close()
+
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload, content_type, extra = await self._dispatch(
+                    method, path, body
+                )
+                self._write_response(
+                    writer, status, payload, content_type, extra, keep_alive
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise asyncio.IncompleteReadError(request_line, None)
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise asyncio.IncompleteReadError(b"", None)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request; returns (status, payload, content-type, headers)."""
+        path = path.split("?", 1)[0]
+        if path == "/query":
+            if method != "POST":
+                return self._json(405, {"error": "method-not-allowed", "status": 405, "message": "POST /query"})
+            return await self._serve_query(body)
+        if path == "/healthz":
+            return self._json(
+                200 if not self.frontdoor.admission.draining else 503,
+                {
+                    "status": "draining" if self.frontdoor.admission.draining else "ok",
+                    "served": self.frontdoor.requests_served,
+                },
+            )
+        if path == "/describe":
+            return self._json(200, self.frontdoor.describe())
+        if path == "/metrics":
+            text = self.frontdoor.service.metrics_text()
+            return (200, text.encode("utf-8"), "text/plain; version=0.0.4", ())
+        if path == "/drain" and method == "POST":
+            await self.frontdoor.drain()
+            return self._json(200, {"status": "drained"})
+        return self._json(
+            404, {"error": "not-found", "status": 404, "message": path}
+        )
+
+    async def _serve_query(self, body: bytes):
+        try:
+            decoded = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            bad = BadRequestError(f"request body is not valid JSON: {error}")
+            return self._json(bad.status, error_body(bad))
+        try:
+            response = await self.frontdoor.handle(decoded)
+        except RejectedError as rejected:
+            extra = ()
+            if rejected.retry_after is not None:
+                extra = (("Retry-After", f"{max(0.0, rejected.retry_after):.3f}"),)
+            return self._json(rejected.status, error_body(rejected), extra)
+        except FrontDoorError as error:
+            return self._json(error.status, error_body(error))
+        except ReproError as error:
+            # Parse/planning/lookup errors are the *query's* fault: a
+            # deterministic 400, never a 500.
+            return self._json(
+                400,
+                {
+                    "error": "query-error",
+                    "status": 400,
+                    "kind": type(error).__name__,
+                    "message": str(error),
+                },
+            )
+        return self._json(200, response.to_dict())
+
+    @staticmethod
+    def _json(status: int, payload: object, extra=()):
+        return (
+            status,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            "application/json",
+            tuple(extra),
+        )
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        extra_headers,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "OK")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        headers.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(
+            ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrontDoorServer({self.host}:{self.port})"

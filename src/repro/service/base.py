@@ -111,6 +111,36 @@ class ServingFacade:
         """Cache-name -> counter report, for the metrics scrape."""
         return {}
 
+    def generation(self) -> tuple:
+        """A cheap fingerprint of everything that can change answers.
+
+        Subclasses return a hashable tuple that moves on every
+        client-visible write (document add/remove/replace/move, index
+        build).  The front door keys its single-flight coalescing on
+        it, so two requests may share one execution only when no write
+        landed between them.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Lifecycle (shared)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release whatever workers the service owns (idempotent).
+
+        The single-engine service owns no threads, so the base close is
+        a no-op; the sharded tier drains its rebalance worker and
+        scatter pool.  Defined here so every facade supports the same
+        ``with service: ...`` idiom and call sites never leak executor
+        threads.
+        """
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Batch execution (shared)
     # ------------------------------------------------------------------

@@ -271,6 +271,21 @@ class QueryService(ServingFacade):
             self.engine.update_count,
         )
 
+    def generation(self) -> tuple:
+        """The service's change fingerprint, read lock-free.
+
+        Deliberately *not* taken under the service lock: the front
+        door's event loop reads it on every request, and queuing behind
+        an executing query would serialize the whole front door on one
+        shard's lock.  The components are single attribute reads, each
+        updated before its write returns to the caller, so any
+        client-visible write is reflected in every later ``generation``
+        read — a torn read during a racing write can only produce a
+        transient extra value, which merely splits one coalescing group
+        in two (correct, just less shared).
+        """
+        return self._current_generation()
+
     def _check_generation(self) -> None:
         current = self._current_generation()
         if self._generation is None:

@@ -190,6 +190,10 @@ class Shard:
     def invalidate(self, rebuilt: bool = True) -> None:
         self.service.invalidate(rebuilt=rebuilt)
 
+    def generation(self) -> tuple:
+        """The shard service's change fingerprint (lock-free read)."""
+        return self.service.generation()
+
     def index_sizes_mb(self) -> dict[str, float]:
         return self.engine.index_sizes_mb()
 
@@ -819,6 +823,10 @@ class ReplicatedShard:
         with self.add_lock:
             for replica in self.replicas:
                 replica.invalidate(rebuilt=rebuilt)
+
+    def generation(self) -> tuple:
+        """The primary's change fingerprint (replicas track it in lock-step)."""
+        return self.primary.generation()
 
     def document_at(self, local_start: int) -> Document:
         return self.primary.document_at(local_start)
